@@ -1,0 +1,103 @@
+"""Figure 3 — low-order weak scaling of Beatnik, 4 → 1024 GPUs.
+
+The paper weak-scales the low-order (FFT) solver with the base problem
+of §5.1 — 4864² mesh points per 4 GPUs — and reports runtime that
+"increases approximately linearly between 4 and 196 processes and
+between 256 and 1024 processes but with a smaller slope".
+
+Reproduction: the analytic pattern model (heFFTe-default configuration,
+AllToAll=False/Pencils/Reorder) generates the per-rank communication
+volumes with the *same* layout code the functional FFT executes, and
+the machine model prices them at every GPU count.  A small functional
+run (4 ranks, scaled-down mesh) is traced, replayed through the same
+machine model, and compared against the analytic model as a
+cross-check that licenses the extrapolation.
+"""
+
+import math
+
+import numpy as np
+
+from repro import mpi
+from repro.core import InitialCondition, Solver, SolverConfig
+from repro.fft import FftConfig
+from repro.machine import LASSEN, low_order_evaluation, replay_trace, step_time
+
+from common import GPU_SWEEP_DENSE, print_series, save_results
+
+BASE_MESH = 4864            # per 4 GPUs (paper §5.1)
+HEFFTE_DEFAULT = FftConfig(alltoall=False, pencils=True, reorder=True)
+
+
+def _mesh_for(nranks: int) -> int:
+    return int(BASE_MESH * math.sqrt(nranks / 4))
+
+
+def model_series():
+    rows = []
+    for p in GPU_SWEEP_DENSE + [196]:
+        n = _mesh_for(p)
+        t = step_time(low_order_evaluation(p, (n, n), LASSEN, HEFFTE_DEFAULT))
+        rows.append([p, n, t])
+    rows.sort()
+    return rows
+
+
+def test_fig3_low_order_weak_scaling(benchmark):
+    rows = model_series()
+    print_series(
+        "Figure 3: low-order weak scaling (modeled step time)",
+        ["GPUs", "mesh N", "seconds/step"],
+        rows,
+    )
+    save_results(
+        "fig3_low_weak",
+        {"header": ["gpus", "mesh", "seconds_per_step"], "rows": rows,
+         "config": str(HEFFTE_DEFAULT)},
+    )
+
+    times = {p: t for p, _, t in rows}
+    # Paper shape: runtime grows monotonically with scale...
+    sweep = sorted(times)
+    assert all(times[a] <= times[b] for a, b in zip(sweep, sweep[1:]))
+    # ...approximately linearly up to ~196, with a smaller slope beyond 256.
+    early_slope = (times[196] - times[4]) / (196 - 4)
+    late_slope = (times[1024] - times[256]) / (1024 - 256)
+    assert late_slope < early_slope
+
+    benchmark.extra_info["series"] = [[p, t] for p, _, t in rows]
+    benchmark(model_series)
+
+
+def test_fig3_functional_crosscheck(benchmark):
+    """Functional 4-rank trace replay vs the analytic model (same mesh)."""
+    n = 64
+    cfg = SolverConfig(
+        num_nodes=(n, n), low=(-np.pi, -np.pi), high=(np.pi, np.pi),
+        order="low", dt=0.002, fft_config=HEFFTE_DEFAULT,
+    )
+    ic = InitialCondition(kind="multi_mode", magnitude=0.02, period=3)
+    trace = mpi.CommTrace()
+
+    def run():
+        trace.clear()
+
+        def program(comm):
+            Solver(comm, cfg, ic).step()
+
+        mpi.run_spmd(4, program, trace=trace)
+
+    run()
+    replayed = replay_trace(trace, LASSEN).total
+    modeled = step_time(low_order_evaluation(4, (n, n), LASSEN, HEFFTE_DEFAULT))
+    ratio = replayed / modeled
+    print(f"\nfunctional-replay / analytic-model time ratio: {ratio:.2f}")
+    save_results(
+        "fig3_crosscheck",
+        {"replayed_s": replayed, "modeled_s": modeled, "ratio": ratio},
+    )
+    # The two paths share sizing code; they must agree within ~3x even
+    # though the functional run includes startup effects.
+    assert 0.2 < ratio < 5.0
+    benchmark.extra_info["ratio"] = ratio
+    benchmark(run)

@@ -1,0 +1,98 @@
+"""Figure 8 — strong scaling of the cutoff solver, 4 → 256 GPUs.
+
+Paper setup (§5.1/§5.4): single-mode problem, 512² mesh, cutoff 0.5;
+load imbalance develops as the interface rolls up.  Result: "Scaling
+from 4 GPUs to 64 GPUs reduces runtime by factor of 3.3 ... a parallel
+efficiency of 21 %.  While performance turns over beyond this point,
+the performance reduction from additional GPUs is modest because of
+the localization of communication provided by the cutoff solver."
+
+Reproduction: the analytic cutoff model at each GPU count, fed with the
+ownership imbalance *measured* by the Figures 6/7 physics run (falling
+back to the paper-derived curve when that bench has not run yet).
+Bands: speedup at 64 within [1.5, 5]; beyond the minimum the curve is
+flat-to-worse (within 25 % of the minimum at 256, never improving by
+much).
+"""
+
+from repro.machine import LASSEN, cutoff_evaluation, step_time
+
+from common import imbalance_at, load_results, print_series, save_results
+
+MESH = (512, 512)
+CUTOFF = 0.5
+DOMAIN = (6.0, 6.0)
+SWEEP = [4, 16, 64, 128, 256]
+
+
+def _imbalance_curve():
+    """Per-P hot-block imbalance, preferring measured Fig 6/7 data."""
+    measured = load_results("fig67_load_imbalance")
+    if measured is not None:
+        late = float(measured["late_imbalance"])
+        return lambda p: 1.0 + (late - 1.0) * (1.0 - 4.0 / p) if p > 4 else 1.0
+    return imbalance_at
+
+
+def model_series():
+    imb = _imbalance_curve()
+    rows = []
+    base = None
+    for p in SWEEP:
+        t = step_time(
+            cutoff_evaluation(
+                p, MESH, LASSEN, cutoff=CUTOFF, domain_extent=DOMAIN,
+                imbalance=imb(p) if callable(imb) else imbalance_at(p),
+            )
+        )
+        if base is None:
+            base = t
+        rows.append([p, t, base / t])
+    return rows
+
+
+def test_fig8_cutoff_strong_scaling(benchmark):
+    rows = model_series()
+    print_series(
+        "Figure 8: cutoff-solver strong scaling (modeled, 512² mesh)",
+        ["GPUs", "seconds/step", "speedup vs 4"],
+        rows,
+    )
+    save_results(
+        "fig8_cutoff_strong",
+        {"header": ["gpus", "seconds_per_step", "speedup"], "rows": rows,
+         "cutoff": CUTOFF},
+    )
+    times = {p: t for p, t, _ in rows}
+    speedups = {p: s for p, _, s in rows}
+    # Paper: 3.3× at 64 (21 % efficiency); band [1.5, 5].
+    assert 1.5 < speedups[64] < 5.0
+    # Beyond the best point the curve is flat-to-worse: 256 is within
+    # 25 % of the minimum and not a big further win.
+    t_min = min(times.values())
+    assert times[256] >= t_min
+    assert times[256] < 1.6 * times[128]
+    benchmark.extra_info["series"] = rows
+    benchmark(model_series)
+
+
+def test_fig8_imbalance_sensitivity(benchmark):
+    """Ablation: the late-time imbalance is what erodes scalability."""
+    rows = []
+    for imb in (1.0, 1.33, 1.66, 2.0):
+        t64 = step_time(
+            cutoff_evaluation(
+                64, MESH, LASSEN, cutoff=CUTOFF, domain_extent=DOMAIN,
+                imbalance=imb,
+            )
+        )
+        rows.append([imb, t64])
+    print_series(
+        "Figure 8 (derived): step time at 64 GPUs vs ownership imbalance",
+        ["max/mean imbalance", "seconds/step"],
+        rows,
+    )
+    times = [t for _, t in rows]
+    assert times == sorted(times)
+    assert times[-1] > 1.8 * times[0]
+    benchmark(model_series)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The paper's §5.5 experiment in miniature: tuning FFT communication.
+
+Runs the low-order solver under all eight heFFTe-style communication
+configurations (Table 1), measures the functional communication
+structure of each (message counts, wire bytes), and prints the modeled
+step time at the paper's scales — reproducing the Figure 9 conclusion
+that the best configuration flips between small and large machines.
+
+Run:  python examples/heffte_tuning.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import mpi
+from repro.core import InitialCondition, Solver, SolverConfig
+from repro.fft import ALL_CONFIGS
+from repro.machine import LASSEN, low_order_evaluation, step_time
+
+RANKS = 4
+MESH = 32
+
+
+def functional_profile(cfg):
+    """Message counts/bytes of one timestep under configuration cfg."""
+    trace = mpi.CommTrace()
+    config = SolverConfig(
+        num_nodes=(MESH, MESH), low=(-np.pi, -np.pi), high=(np.pi, np.pi),
+        order="low", dt=0.002, fft_config=cfg,
+    )
+    ic = InitialCondition(kind="multi_mode", magnitude=0.02, period=3)
+
+    def program(comm):
+        Solver(comm, config, ic).step()
+
+    mpi.run_spmd(RANKS, program, trace=trace)
+    return (
+        trace.message_count(kind="alltoallv"),
+        trace.message_count(kind="send"),
+        trace.total_bytes(),
+    )
+
+
+def main() -> None:
+    print(f"{'config':>7} {'A2A':>5} {'pencils':>8} {'reorder':>8} "
+          f"{'collectives':>12} {'p2p msgs':>9} {'bytes':>10} "
+          f"{'model @4':>10} {'model @1024':>12}")
+    for cfg in ALL_CONFIGS:
+        coll, p2p, nbytes = functional_profile(cfg)
+        t4 = step_time(low_order_evaluation(4, (4864, 4864), LASSEN, cfg))
+        n1k = int(4864 * math.sqrt(1024 / 4))
+        t1k = step_time(low_order_evaluation(1024, (n1k, n1k), LASSEN, cfg))
+        print(f"{cfg.index:>7} {str(cfg.alltoall):>5} {str(cfg.pencils):>8} "
+              f"{str(cfg.reorder):>8} {coll:>12} {p2p:>9} {nbytes:>10} "
+              f"{t4:9.3f}s {t1k:11.3f}s")
+
+    best_small = min(ALL_CONFIGS, key=lambda c: step_time(
+        low_order_evaluation(4, (4864, 4864), LASSEN, c)))
+    n1k = int(4864 * math.sqrt(1024 / 4))
+    best_large = min(ALL_CONFIGS, key=lambda c: step_time(
+        low_order_evaluation(1024, (n1k, n1k), LASSEN, c)))
+    print(f"\nbest at 4 GPUs:    {best_small}")
+    print(f"best at 1024 GPUs: {best_large}")
+    print("As in the paper (§5.5): custom point-to-point wins small, "
+          "MPI_Alltoall wins at scale."
+          if best_small.alltoall != best_large.alltoall
+          else "note: model calibration did not flip the winner here.")
+
+
+if __name__ == "__main__":
+    main()

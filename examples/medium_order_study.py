@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Paper §6 future-work study: the medium-order model with the cutoff solver.
+
+The paper: "we would like to examine both the performance and accuracy
+of the medium-order model when used with the cutoff solver.  Because
+the medium-order model uses FFTs for calculating changes in vorticity
+and supports larger timesteps than the high-order model, the
+performance and accuracy tradeoffs between the two models are
+potentially interesting."
+
+This script runs that comparison at laptop scale: the same periodic
+multi-mode problem evolved with
+
+* HIGH order + cutoff solver (reference behaviour),
+* MEDIUM order + cutoff solver (FFT vorticity updates), and
+* LOW order (pure FFT),
+
+and reports (a) the communication volume per step of each, (b) the
+divergence of the interface from the high-order reference, and (c) the
+modeled step cost at the paper's scales.
+
+Run:  python examples/medium_order_study.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import mpi
+from repro.core import InitialCondition, Solver, SolverConfig, gather_global_state
+from repro.machine import LASSEN, cutoff_evaluation, low_order_evaluation, step_time
+
+RANKS = 4
+N = 24
+STEPS = 6
+
+
+def run_order(order: str, br_solver: str = "cutoff"):
+    trace = mpi.CommTrace()
+    config = SolverConfig(
+        num_nodes=(N, N), low=(-np.pi, -np.pi), high=(np.pi, np.pi),
+        periodic=(True, True), order=order, br_solver=br_solver,
+        cutoff=2.0, dt=0.01, eps=0.1,
+        spatial_low=(-4, -4, -2), spatial_high=(4, 4, 2),
+    )
+    ic = InitialCondition(kind="multi_mode", magnitude=0.05, period=2, seed=9)
+
+    def program(comm):
+        solver = Solver(comm, config, ic)
+        solver.run(STEPS)
+        z, w = gather_global_state(solver.pm)
+        return z
+
+    z = mpi.run_spmd(RANKS, program, trace=trace, timeout=600.0)[0]
+    return z, trace
+
+
+def main() -> None:
+    z_high, trace_high = run_order("high")
+    z_med, trace_med = run_order("medium")
+    z_low, trace_low = run_order("low", br_solver="exact")
+
+    scale = np.abs(z_high[..., 2]).max()
+    err_med = np.abs(z_med[..., 2] - z_high[..., 2]).max() / scale
+    err_low = np.abs(z_low[..., 2] - z_high[..., 2]).max() / scale
+
+    print(f"{'order':>8} {'bytes/run':>12} {'collectives':>12} "
+          f"{'rel. deviation from high':>26}")
+    for name, trace, err in (
+        ("high", trace_high, 0.0),
+        ("medium", trace_med, err_med),
+        ("low", trace_low, err_low),
+    ):
+        print(f"{name:>8} {trace.total_bytes():>12} "
+              f"{trace.message_count(kind='alltoallv'):>12} {err:>26.4%}")
+
+    print("\nmodeled step time at paper scales (ms):")
+    print(f"{'GPUs':>6} {'low (FFT only)':>15} {'high (cutoff)':>14}")
+    for p in (4, 64, 1024):
+        n = int(768 * math.sqrt(p))
+        ext = 6.0 * math.sqrt(p / 4)
+        t_low = step_time(low_order_evaluation(p, (n, n), LASSEN))
+        t_cut = step_time(cutoff_evaluation(p, (n, n), LASSEN, cutoff=0.2,
+                                            domain_extent=(ext, ext)))
+        print(f"{p:>6} {t_low*1e3:>15.1f} {t_cut*1e3:>14.1f}")
+    print("\nMedium order couples both paths: its vorticity update costs the "
+          "FFT column, its position update the cutoff column — the paper's "
+          "anticipated tradeoff (cheaper γ̇, dearer ż).")
+    assert err_med <= err_low or err_low < 0.02, (
+        "medium order should track the high-order reference at least as "
+        "well as the purely spectral low order on deformed interfaces"
+    )
+
+
+if __name__ == "__main__":
+    main()

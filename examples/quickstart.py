@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: a serial low-order rocket-rig run in ~30 lines.
+
+Simulates Rayleigh-Taylor growth of a small multi-mode interface with
+the FFT-based low-order Z-Model solver and prints the growth of the
+interface amplitude — the simplest end-to-end use of the library.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import mpi
+from repro.core import InitialCondition, Solver, SolverConfig
+
+
+def main() -> None:
+    config = SolverConfig(
+        num_nodes=(64, 64),                # surface mesh resolution
+        low=(-np.pi, -np.pi),
+        high=(np.pi, np.pi),
+        periodic=(True, True),
+        order="low",                       # FFT-based Birkhoff-Rott
+        atwood=0.5,
+        gravity=10.0,
+        mu=0.02,                           # a little artificial viscosity
+    )
+    ic = InitialCondition(kind="multi_mode", magnitude=0.01, period=4, seed=7)
+
+    comm = mpi.single_rank_comm()          # serial: no rank threads
+    solver = Solver(comm, config, ic)
+    print(f"mesh: {config.num_nodes}, dt = {solver.dt:.5f}")
+    print(f"{'step':>6} {'time':>9} {'amplitude':>12} {'|vorticity|':>12}")
+    for _ in range(10):
+        solver.run(5)
+        d = solver.diagnostics()
+        print(
+            f"{solver.step_count:6d} {d['time']:9.4f} "
+            f"{d['amplitude']:12.6f} {d['vorticity_norm']:12.6f}"
+        )
+    assert np.isfinite(solver.interface_amplitude())
+    print("done: the interface grows under the Rayleigh-Taylor instability.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Regenerate all of the paper's scaling curves from the machine model.
+
+Prints the modeled series behind Figures 3, 4, 5 and 8 in one place —
+a fast way to inspect the shapes without running the full benchmark
+harness.  See EXPERIMENTS.md for the paper-vs-model comparison.
+
+Run:  python examples/scaling_study.py
+"""
+
+import math
+
+from repro.fft import FftConfig
+from repro.machine import (
+    LASSEN,
+    cutoff_evaluation,
+    low_order_evaluation,
+    step_time,
+)
+
+HEFFTE_DEFAULT = FftConfig(alltoall=False, pencils=True, reorder=True)
+SWEEP = [4, 16, 64, 128, 256, 512, 1024]
+
+
+def fig3() -> None:
+    print("\nFigure 3 — low-order weak scaling (4864² per 4 GPUs)")
+    for p in SWEEP:
+        n = int(4864 * math.sqrt(p / 4))
+        t = step_time(low_order_evaluation(p, (n, n), LASSEN, HEFFTE_DEFAULT))
+        print(f"  {p:5d} GPUs: {t*1e3:9.2f} ms/step")
+
+
+def fig4() -> None:
+    print("\nFigure 4 — low-order strong scaling (fixed 4864²)")
+    base = None
+    for p in SWEEP:
+        t = step_time(low_order_evaluation(p, (4864, 4864), LASSEN, HEFFTE_DEFAULT))
+        base = base or t
+        print(f"  {p:5d} GPUs: {t*1e3:9.2f} ms/step  (speedup {base/t:5.2f})")
+
+
+def fig5() -> None:
+    print("\nFigure 5 — cutoff weak scaling (768² per GPU, cutoff 0.2)")
+    base = None
+    for p in SWEEP:
+        n = int(768 * math.sqrt(p))
+        ext = 6.0 * math.sqrt(p / 4)
+        t = step_time(cutoff_evaluation(p, (n, n), LASSEN, cutoff=0.2,
+                                        domain_extent=(ext, ext)))
+        base = base or t
+        print(f"  {p:5d} GPUs: {t*1e3:9.2f} ms/step  (vs 4 GPUs ×{t/base:.3f})")
+
+
+def fig8() -> None:
+    print("\nFigure 8 — cutoff strong scaling (512², cutoff 0.5, rollup imbalance)")
+    base = None
+    for p in (4, 16, 64, 128, 256):
+        imbalance = 1.0 + 0.66 * (1 - 4.0 / p) if p > 4 else 1.0
+        t = step_time(cutoff_evaluation(p, (512, 512), LASSEN, cutoff=0.5,
+                                        domain_extent=(6.0, 6.0),
+                                        imbalance=imbalance))
+        base = base or t
+        print(f"  {p:5d} GPUs: {t*1e3:9.2f} ms/step  (speedup {base/t:5.2f})")
+
+
+if __name__ == "__main__":
+    print(f"machine model: {LASSEN.name} "
+          f"({LASSEN.gpus_per_node} GPUs/node, "
+          f"{LASSEN.bandwidth_inter/1e9:.1f} GB/s/node inter-node)")
+    fig3()
+    fig4()
+    fig5()
+    fig8()

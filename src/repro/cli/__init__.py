@@ -1,0 +1,1 @@
+"""Command-line drivers (the analogue of Beatnik's driver programs)."""

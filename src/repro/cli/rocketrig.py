@@ -1,0 +1,166 @@
+"""The rocket-rig driver program (paper §4).
+
+The command-line analogue of Beatnik's ``rocketrig`` driver: builds a
+:class:`~repro.core.SolverConfig` from flags mirroring the C++ driver's
+options (initial condition, magnitude, period, model order, BR solver,
+cutoff, boundary conditions, ...), runs the simulation on N simulated
+ranks, and optionally writes VTK dumps and a communication-trace
+summary.
+
+Examples::
+
+    rocketrig --nodes 64 --order low --ic multi_mode --steps 20
+    rocketrig --nodes 32 --order high --br-solver cutoff --cutoff 0.8 \\
+              --free-boundaries --ic single_mode --magnitude 0.12 \\
+              --steps 30 --ranks 4 --outdir results/rig
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import mpi
+from repro.core import (
+    InitialCondition,
+    SiloWriter,
+    Solver,
+    SolverConfig,
+    ownership_stats,
+)
+from repro.fft import FftConfig
+from repro.machine import LASSEN, replay_trace
+
+__all__ = ["main", "build_parser", "run_from_args"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rocketrig",
+        description="Beatnik rocket-rig benchmark driver (Python reproduction)",
+    )
+    mesh = parser.add_argument_group("mesh")
+    mesh.add_argument("--nodes", "-n", type=int, default=64,
+                      help="surface mesh nodes per dimension (default 64)")
+    mesh.add_argument("--extent", type=float, default=2 * np.pi,
+                      help="domain edge length (default 2π)")
+    mesh.add_argument("--free-boundaries", action="store_true",
+                      help="non-periodic boundaries (requires --order high)")
+
+    model = parser.add_argument_group("model")
+    model.add_argument("--order", "-o", choices=("low", "medium", "high"),
+                       default="low", help="Z-Model order (default low)")
+    model.add_argument("--br-solver", choices=("exact", "cutoff"),
+                       default="exact", help="Birkhoff-Rott solver")
+    model.add_argument("--cutoff", "-c", type=float, default=0.5,
+                       help="cutoff distance for the cutoff solver")
+    model.add_argument("--atwood", "-a", type=float, default=0.5)
+    model.add_argument("--gravity", "-g", type=float, default=10.0)
+    model.add_argument("--mu", type=float, default=0.0,
+                       help="artificial viscosity coefficient")
+    model.add_argument("--epsilon", type=float, default=None,
+                       help="Krasny desingularization length")
+    model.add_argument("--dt", type=float, default=None,
+                       help="timestep (default: CFL-stable)")
+    model.add_argument("--br-images", action="store_true",
+                       help="include 3x3 periodic images in the exact solver")
+
+    ic = parser.add_argument_group("initial condition")
+    ic.add_argument("--ic", "-I", default="multi_mode",
+                    choices=("single_mode", "multi_mode", "sech2",
+                             "gaussian", "flat"))
+    ic.add_argument("--magnitude", "-m", type=float, default=0.05)
+    ic.add_argument("--period", "-p", type=float, default=4.0)
+    ic.add_argument("--seed", type=int, default=12345)
+
+    fft = parser.add_argument_group("FFT communication (heFFTe flags)")
+    fft.add_argument("--fft-config", type=int, default=7, choices=range(8),
+                     help="Table-1 configuration index (default 7)")
+
+    run = parser.add_argument_group("run")
+    run.add_argument("--steps", "-t", type=int, default=10)
+    run.add_argument("--ranks", "-r", type=int, default=1,
+                     help="simulated MPI ranks (default 1)")
+    run.add_argument("--outdir", default=None,
+                     help="write VTK dumps into this directory")
+    run.add_argument("--write-freq", type=int, default=10)
+    run.add_argument("--trace", action="store_true",
+                     help="print a communication summary and modeled cost")
+    return parser
+
+
+def run_from_args(args: argparse.Namespace) -> dict:
+    half = args.extent / 2.0
+    periodic = not args.free_boundaries
+    config = SolverConfig(
+        num_nodes=(args.nodes, args.nodes),
+        low=(-half, -half),
+        high=(half, half),
+        periodic=(periodic, periodic),
+        order=args.order,
+        br_solver=args.br_solver,
+        cutoff=args.cutoff,
+        atwood=args.atwood,
+        gravity=args.gravity,
+        mu=args.mu,
+        eps=args.epsilon,
+        dt=args.dt,
+        br_images=args.br_images,
+        fft_config=FftConfig.from_index(args.fft_config),
+    )
+    ic = InitialCondition(
+        kind=args.ic, magnitude=args.magnitude, period=args.period,
+        seed=args.seed,
+    )
+    trace = mpi.CommTrace() if args.trace else None
+    writer = SiloWriter(args.outdir, "rocketrig") if args.outdir else None
+
+    def program(comm):
+        solver = Solver(comm, config, ic)
+        solver.run(
+            args.steps,
+            writer=writer,
+            write_freq=args.write_freq if writer else 0,
+        )
+        counts = None
+        if solver.br_solver is not None and hasattr(
+            solver.br_solver, "ownership_counts"
+        ):
+            counts = solver.br_solver.ownership_counts()
+        return solver.diagnostics(), counts
+
+    results = mpi.run_spmd(args.ranks, program, trace=trace, timeout=3600.0)
+    diag, counts = results[0]
+
+    print(f"rocketrig: {args.order}-order, {args.ranks} ranks, "
+          f"{args.nodes}x{args.nodes} mesh, {args.steps} steps")
+    for key, value in diag.items():
+        print(f"  {key:>16}: {value:.6g}")
+    if counts is not None:
+        stats = ownership_stats(np.asarray(counts))
+        print(f"  spatial ownership: {stats.describe()}")
+    if writer is not None and writer.written:
+        print(f"  wrote {len(writer.written)} VTK dumps to {args.outdir}")
+    if trace is not None:
+        replay = replay_trace(trace, LASSEN)
+        print(f"  trace: {len(trace.events)} comm events, "
+              f"{trace.total_bytes()} bytes shipped")
+        for phase in replay.phases:
+            comm_t, comp_t = replay.phase_breakdown(phase)
+            print(f"    modeled {phase:>12}: comm {comm_t*1e3:9.3f} ms  "
+                  f"compute {comp_t*1e3:9.3f} ms")
+        print(f"    modeled total: {replay.total*1e3:.2f} ms")
+    return diag
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    run_from_args(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Beatnik core: the Z-Model solver stack (the paper's contribution).
+
+Module map (paper §2/§3 names → here):
+
+* ``Solver`` / ``SolverConfig`` — driver-facing entry point.
+* ``SurfaceMesh`` — distributed 2D interface mesh.
+* ``ProblemManager`` — shared z/γ state + halo management.
+* ``BoundaryCondition`` — periodic ghost correction / free extrapolation.
+* ``ZModel`` (+ ``Order``, ``ZModelParameters``) — low/medium/high-order
+  derivatives.
+* ``ExactBRSolver`` / ``CutoffBRSolver`` — Birkhoff-Rott far-field
+  solvers (ring pass / migrate-halo-neighbor pipeline).
+* ``TimeIntegrator`` — TVD-RK3.
+* ``SiloWriter`` — visualization dumps.
+* ``InitialCondition`` — rocket-rig problem setups.
+"""
+
+from repro.core.boundary import BoundaryCondition, BoundaryType
+from repro.core.br_cutoff import CutoffBRSolver
+from repro.core.br_exact import ExactBRSolver
+from repro.core.diagnostics import (
+    OwnershipStats,
+    fit_growth_rate,
+    gather_global_state,
+    ownership_stats,
+    rt_dispersion_sigma,
+    vorticity_magnitude,
+)
+from repro.core.initial_conditions import InitialCondition, apply_initial_condition
+from repro.core.problem_manager import ProblemManager
+from repro.core.remesh import maybe_remesh, parameter_distortion, remesh_uniform
+from repro.core.silo_writer import SiloWriter
+from repro.core.solver import Solver, SolverConfig
+from repro.core.surface_mesh import SurfaceMesh
+from repro.core.time_integrator import TimeIntegrator
+from repro.core.zmodel import Order, ZModel, ZModelParameters
+
+__all__ = [
+    "BoundaryCondition",
+    "BoundaryType",
+    "CutoffBRSolver",
+    "ExactBRSolver",
+    "OwnershipStats",
+    "fit_growth_rate",
+    "gather_global_state",
+    "ownership_stats",
+    "rt_dispersion_sigma",
+    "vorticity_magnitude",
+    "InitialCondition",
+    "apply_initial_condition",
+    "ProblemManager",
+    "maybe_remesh",
+    "parameter_distortion",
+    "remesh_uniform",
+    "SiloWriter",
+    "Solver",
+    "SolverConfig",
+    "SurfaceMesh",
+    "TimeIntegrator",
+    "Order",
+    "ZModel",
+    "ZModelParameters",
+]

@@ -1,0 +1,126 @@
+"""Boundary conditions for the surface mesh (paper §3.1).
+
+Most halo handling is done by the grid layer; this module implements
+the two corrections Beatnik's ``BoundaryCondition`` class performs:
+
+* **Periodic**: the halo exchange copies raw positions from the
+  wrapped-around neighbour, so ghost *positions* are off by one domain
+  period in the wrapped direction(s); we shift them so the surface is
+  geometrically continuous across the seam.  (Vorticity is a periodic
+  field — no correction.)
+* **Free (non-periodic)**: blocks on the global edge have no neighbour
+  to exchange with, so position and vorticity are linearly extrapolated
+  into the ghost frame, giving the one-sided stencils something
+  sensible to read.
+
+Neither correction communicates — both are pure local kernels, exactly
+as in Beatnik.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.core.surface_mesh import SurfaceMesh
+
+__all__ = ["BoundaryType", "BoundaryCondition"]
+
+
+class BoundaryType(Enum):
+    """Supported boundary handling for the surface mesh."""
+
+    PERIODIC = "periodic"
+    FREE = "free"
+
+
+class BoundaryCondition:
+    """Applies ghost corrections after each halo gather."""
+
+    def __init__(self, mesh: SurfaceMesh) -> None:
+        self.mesh = mesh
+        self.types = tuple(
+            BoundaryType.PERIODIC if p else BoundaryType.FREE
+            for p in mesh.periodic
+        )
+
+    # -- periodic position correction -----------------------------------------
+
+    def _periodic_shift(self, z_full: np.ndarray, axis: int) -> None:
+        """Shift wrapped ghost positions by ± the physical period.
+
+        The physical period equals the parameter-domain extent because
+        the rocket-rig initialization maps parameters to horizontal
+        position one-to-one (z₁ = α₁, z₂ = α₂ at t = 0) and the Z-Model
+        preserves the periodicity relation z(α + L e) = z(α) + L e.
+        """
+        grid = self.mesh.local_grid
+        h = grid.halo_width
+        period = self.mesh.global_mesh.extent[axis]
+        cart = self.mesh.cart
+        coords = cart.coords
+        dims = cart.dims
+        # Low-side ghosts wrapped iff I am the first block along `axis`.
+        if coords[axis] == 0:
+            sel: list[slice] = [slice(None), slice(None)]
+            sel[axis] = slice(0, h)
+            z_full[tuple(sel) + (axis,)] -= period
+        # High-side ghosts wrapped iff I am the last block.
+        if coords[axis] == dims[axis] - 1:
+            n_owned = grid.owned_shape[axis]
+            sel = [slice(None), slice(None)]
+            sel[axis] = slice(n_owned + h, n_owned + 2 * h)
+            z_full[tuple(sel) + (axis,)] += period
+        # Single-block axes are both first and last: both branches fire,
+        # which is exactly right for a self-wrapped halo.
+
+    # -- free-boundary extrapolation ---------------------------------------------
+
+    def _extrapolate(self, full: np.ndarray, axis: int, side: int) -> None:
+        """Linear extrapolation into the ghost frame on one face."""
+        grid = self.mesh.local_grid
+        h = grid.halo_width
+        n_owned = grid.owned_shape[axis]
+
+        def take(index: int) -> tuple[slice | int, ...]:
+            sel: list[slice | int] = [slice(None), slice(None)]
+            sel[axis] = index
+            return tuple(sel)
+
+        if side == -1:
+            edge, inner = h, h + 1
+            targets = range(h - 1, -1, -1)
+        else:
+            edge, inner = n_owned + h - 1, n_owned + h - 2
+            targets = range(n_owned + h, n_owned + 2 * h)
+        slope = full[take(edge)] - full[take(inner)]
+        for g, target in enumerate(targets, start=1):
+            full[take(target)] = full[take(edge)] + g * slope
+
+    # -- public API ------------------------------------------------------------
+
+    def apply_position(self, z_full: np.ndarray) -> None:
+        """Correct ghost positions after a halo gather of ``z``."""
+        for axis, btype in enumerate(self.types):
+            if btype is BoundaryType.PERIODIC:
+                self._periodic_shift(z_full, axis)
+            else:
+                self._apply_free(z_full, axis)
+
+    def apply_field(self, full: np.ndarray) -> None:
+        """Fill ghost values of a periodic-agnostic field (vorticity, Φ).
+
+        Periodic axes need nothing (the halo gather already wrapped the
+        values); free axes are extrapolated.
+        """
+        for axis, btype in enumerate(self.types):
+            if btype is BoundaryType.FREE:
+                self._apply_free(full, axis)
+
+    def _apply_free(self, full: np.ndarray, axis: int) -> None:
+        grid = self.mesh.local_grid
+        if grid.on_global_boundary(axis, -1):
+            self._extrapolate(full, axis, -1)
+        if grid.on_global_boundary(axis, +1):
+            self._extrapolate(full, axis, +1)

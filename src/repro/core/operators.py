@@ -1,0 +1,135 @@
+"""Finite-difference operators on the ghosted surface mesh.
+
+Beatnik computes surface normals, finite differences and Laplacians
+with "two-node-deep stencils" (paper §3.1) — here realized as 4th-order
+central differences, whose 5-point stencils read exactly two ghost
+nodes per side and therefore require the depth-2 halo the grid layer
+provides.
+
+All operators take a *full* local array (ghosts included, shape
+``(ni + 2h, nj + 2h, c)`` or 2D) and return the result on *owned*
+nodes only.  ``h`` must be ≥ 2.
+
+Stencils (spacing ``d``):
+
+* first derivative:  ``(f[-2] - 8 f[-1] + 8 f[+1] - f[+2]) / (12 d)``
+* second derivative: ``(-f[-2] + 16 f[-1] - 30 f[0] + 16 f[+1] - f[+2]) / (12 d²)``
+
+Convergence order is pinned by tests against analytic fields.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "dx",
+    "dy",
+    "laplacian",
+    "cross",
+    "dot",
+    "norm",
+    "surface_normal",
+    "area_element",
+]
+
+_HALO = 2
+
+
+def _interior(full: np.ndarray, oi: int, oj: int) -> np.ndarray:
+    """Owned-region view shifted by (oi, oj) nodes (|oi|,|oj| ≤ halo)."""
+    h = _HALO
+    ni = full.shape[0] - 2 * h
+    nj = full.shape[1] - 2 * h
+    return full[h + oi: h + oi + ni, h + oj: h + oj + nj]
+
+
+def _check(full: np.ndarray) -> None:
+    if full.shape[0] < 2 * _HALO + 1 or full.shape[1] < 2 * _HALO + 1:
+        raise ConfigurationError(
+            f"array {full.shape} too small for depth-{_HALO} stencils"
+        )
+
+
+def dx(full: np.ndarray, spacing: float) -> np.ndarray:
+    """4th-order ∂/∂α₁ (axis 0) on owned nodes."""
+    _check(full)
+    return (
+        _interior(full, -2, 0)
+        - 8.0 * _interior(full, -1, 0)
+        + 8.0 * _interior(full, 1, 0)
+        - _interior(full, 2, 0)
+    ) / (12.0 * spacing)
+
+
+def dy(full: np.ndarray, spacing: float) -> np.ndarray:
+    """4th-order ∂/∂α₂ (axis 1) on owned nodes."""
+    _check(full)
+    return (
+        _interior(full, 0, -2)
+        - 8.0 * _interior(full, 0, -1)
+        + 8.0 * _interior(full, 0, 1)
+        - _interior(full, 0, 2)
+    ) / (12.0 * spacing)
+
+
+def laplacian(full: np.ndarray, dx_: float, dy_: float) -> np.ndarray:
+    """4th-order surface-parameter Laplacian ∂²/∂α₁² + ∂²/∂α₂²."""
+    _check(full)
+    d2x = (
+        -_interior(full, -2, 0)
+        + 16.0 * _interior(full, -1, 0)
+        - 30.0 * _interior(full, 0, 0)
+        + 16.0 * _interior(full, 1, 0)
+        - _interior(full, 2, 0)
+    ) / (12.0 * dx_ * dx_)
+    d2y = (
+        -_interior(full, 0, -2)
+        + 16.0 * _interior(full, 0, -1)
+        - 30.0 * _interior(full, 0, 0)
+        + 16.0 * _interior(full, 0, 1)
+        - _interior(full, 0, 2)
+    ) / (12.0 * dy_ * dy_)
+    return d2x + d2y
+
+
+def cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pointwise 3D cross product for (..., 3) arrays."""
+    out = np.empty(np.broadcast(a, b).shape)
+    out[..., 0] = a[..., 1] * b[..., 2] - a[..., 2] * b[..., 1]
+    out[..., 1] = a[..., 2] * b[..., 0] - a[..., 0] * b[..., 2]
+    out[..., 2] = a[..., 0] * b[..., 1] - a[..., 1] * b[..., 0]
+    return out
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pointwise dot product over the trailing component axis."""
+    return np.einsum("...k,...k->...", a, b)
+
+
+def norm(a: np.ndarray) -> np.ndarray:
+    """Pointwise Euclidean norm over the trailing component axis."""
+    return np.sqrt(dot(a, a))
+
+
+def surface_normal(
+    z_full: np.ndarray, dx_: float, dy_: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Tangents and (unnormalized) normal of the interface surface.
+
+    Returns ``(t1, t2, n)`` on owned nodes with ``n = t1 × t2``.
+    """
+    t1 = dx(z_full, dx_)
+    t2 = dy(z_full, dy_)
+    return t1, t2, cross(t1, t2)
+
+
+def area_element(n_unnormalized: np.ndarray, floor: float = 1e-300) -> np.ndarray:
+    """|t1 × t2| = sqrt(det h): the surface area element.
+
+    Clamped away from zero so degenerate (pinched) surface points do not
+    produce division blowups in the vorticity update.
+    """
+    return np.maximum(norm(n_unnormalized), floor)

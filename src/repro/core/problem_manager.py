@@ -1,0 +1,75 @@
+"""ProblemManager: the shared mesh state (paper §3.1).
+
+Owns the two persistent fields of the Z-Model — interface position
+``z`` (3 components) and vorticity ``w = (γ1, γ2)`` — and provides the
+halo-gather + boundary-condition sequence every derivative evaluation
+starts with.  Solvers that need ghost values for *derived* fields
+(e.g. the potential Φ) go through :meth:`gather_field` so all ghost
+fills share one code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.boundary import BoundaryCondition
+from repro.core.surface_mesh import SurfaceMesh
+from repro.grid.array import NodeArray
+
+__all__ = ["ProblemManager"]
+
+
+class ProblemManager:
+    """Holds z/w state for one rank and manages their ghost updates."""
+
+    def __init__(self, mesh: SurfaceMesh) -> None:
+        self.mesh = mesh
+        self.bc = BoundaryCondition(mesh)
+        self.z = NodeArray(mesh.local_grid, 3, name="position")
+        self.w = NodeArray(mesh.local_grid, 2, name="vorticity")
+
+    # -- state access ----------------------------------------------------------
+
+    @property
+    def positions_own(self) -> np.ndarray:
+        return self.z.own
+
+    @property
+    def vorticity_own(self) -> np.ndarray:
+        return self.w.own
+
+    def set_state(self, z_own: np.ndarray, w_own: np.ndarray) -> None:
+        """Install owned-state values (e.g. from an initial condition)."""
+        self.z.own[...] = z_own
+        self.w.own[...] = w_own
+
+    # -- ghost updates ---------------------------------------------------------
+
+    def gather_state(self) -> None:
+        """Halo-exchange z and w together, then apply boundary fixes.
+
+        One packed exchange for both fields (4 messages total), then the
+        periodic position shift / free extrapolation — the exact
+        sequence Beatnik performs before each derivative computation.
+        """
+        self.mesh.gather([self.z.full, self.w.full])
+        self.bc.apply_position(self.z.full)
+        self.bc.apply_field(self.w.full)
+
+    def gather_field(self, full: np.ndarray) -> None:
+        """Halo-exchange one derived full-shape field + boundary fill."""
+        self.mesh.gather([full])
+        self.bc.apply_field(full)
+
+    def make_field(self, ncomp: int, name: str = "field") -> NodeArray:
+        """Allocate a ghosted work field congruent with the state."""
+        return NodeArray(self.mesh.local_grid, ncomp, name=name)
+
+    def full_from_own(self, own: np.ndarray, ncomp: int) -> np.ndarray:
+        """Embed an owned-region array into a fresh ghosted full array."""
+        field = NodeArray(self.mesh.local_grid, ncomp)
+        if own.ndim == 2:
+            field.own[..., 0] = own
+        else:
+            field.own[...] = own
+        return field.full

@@ -1,0 +1,187 @@
+"""Surface remeshing (paper §6 future work, implemented here).
+
+As the interface deforms, surface points drift away from a uniform
+parameterization: the mesh bunches up inside rollups and starves flat
+regions.  The paper lists remeshing — "redistribute or add points to
+the surface mesh as the simulation developed" — as future work that
+would both bound the load imbalance and add another global
+communication pattern (a gather/re-scatter of the whole surface).
+
+This module implements the redistribution half for periodic meshes:
+
+1. measure the parameterization distortion (ratio of the largest to the
+   smallest local area element);
+2. when it exceeds a threshold, re-interpolate the surface onto a
+   uniform parameter grid using the horizontal position components as
+   the new parameters (valid while the interface remains a graph, i.e.
+   pre-overturning);
+3. the distributed entry point gathers the surface to rank 0,
+   re-interpolates, and broadcasts/scatters the new state — exactly the
+   "additional important global communication pattern" the paper
+   anticipates (an allgather + scatter per remesh event).
+
+The interpolation is periodic bilinear on the (z₁, z₂) graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem_manager import ProblemManager
+from repro.util.errors import ConfigurationError
+
+__all__ = ["parameter_distortion", "remesh_uniform", "maybe_remesh"]
+
+
+def parameter_distortion(z_own: np.ndarray, dx: float, dy: float) -> float:
+    """Max/min ratio of local horizontal cell areas (1.0 = uniform).
+
+    Uses one-sided differences of the horizontal position components on
+    owned nodes only (no halo needed), so it is cheap enough to call
+    every step.
+    """
+    x = z_own[..., 0]
+    y = z_own[..., 1]
+    if x.shape[0] < 2 or x.shape[1] < 2:
+        return 1.0
+    # Forward-difference Jacobian of the horizontal map.
+    dxd1 = np.diff(x, axis=0)[:, :-1] / dx
+    dyd1 = np.diff(y, axis=0)[:, :-1] / dx
+    dxd2 = np.diff(x, axis=1)[:-1, :] / dy
+    dyd2 = np.diff(y, axis=1)[:-1, :] / dy
+    jac = np.abs(dxd1 * dyd2 - dxd2 * dyd1)
+    floor = 1e-12
+    return float(jac.max() / max(jac.min(), floor))
+
+
+def _periodic_bilinear(
+    grid_x: np.ndarray,
+    grid_y: np.ndarray,
+    values: np.ndarray,
+    low: tuple[float, float],
+    extent: tuple[float, float],
+) -> np.ndarray:
+    """Sample ``values`` (on a uniform periodic grid) at (grid_x, grid_y)."""
+    n1, n2 = values.shape[:2]
+    fx = (grid_x - low[0]) / extent[0] * n1
+    fy = (grid_y - low[1]) / extent[1] * n2
+    i0 = np.floor(fx).astype(np.int64)
+    j0 = np.floor(fy).astype(np.int64)
+    tx = fx - i0
+    ty = fy - j0
+    i0 %= n1
+    j0 %= n2
+    i1 = (i0 + 1) % n1
+    j1 = (j0 + 1) % n2
+    w00 = (1 - tx) * (1 - ty)
+    w01 = (1 - tx) * ty
+    w10 = tx * (1 - ty)
+    w11 = tx * ty
+    if values.ndim == 3:
+        w00, w01, w10, w11 = (w[..., None] for w in (w00, w01, w10, w11))
+    return (
+        w00 * values[i0, j0]
+        + w01 * values[i0, j1]
+        + w10 * values[i1, j0]
+        + w11 * values[i1, j1]
+    )
+
+
+def remesh_uniform(
+    z_global: np.ndarray,
+    w_global: np.ndarray,
+    low: tuple[float, float],
+    extent: tuple[float, float],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Re-interpolate a gathered periodic surface onto uniform parameters.
+
+    Treats the interface as a graph over its horizontal position (valid
+    pre-overturning): the new node (i, j) sits at the uniform horizontal
+    location, with height and vorticity interpolated from the old
+    surface via inverse-distortion resampling.
+
+    Returns new ``(z, w)`` arrays of the same shape.
+    """
+    n1, n2 = z_global.shape[:2]
+    if w_global.shape[:2] != (n1, n2):
+        raise ConfigurationError("z and w must share the mesh shape")
+    dx = extent[0] / n1
+    dy = extent[1] / n2
+    xs = low[0] + dx * np.arange(n1)
+    ys = low[1] + dy * np.arange(n2)
+    X, Y = np.meshgrid(xs, ys, indexing="ij")
+
+    # Displacement of the horizontal map from identity, sampled back at
+    # the uniform grid (first-order inverse: u(X) ≈ d(X)).
+    disp = np.stack(
+        [z_global[..., 0] - X, z_global[..., 1] - Y], axis=-1
+    )
+    height = z_global[..., 2:3]
+    fields = np.concatenate([disp, height, w_global], axis=-1)
+    # Evaluate the old fields at the uniform points displaced backwards.
+    sample_x = X - disp[..., 0]
+    sample_y = Y - disp[..., 1]
+    resampled = _periodic_bilinear(sample_x, sample_y, fields, low, extent)
+
+    z_new = np.empty_like(z_global)
+    z_new[..., 0] = X
+    z_new[..., 1] = Y
+    z_new[..., 2] = resampled[..., 2]
+    w_new = resampled[..., 3:5].copy()
+    return z_new, w_new
+
+
+def maybe_remesh(
+    pm: ProblemManager, threshold: float = 2.0
+) -> bool:
+    """Remesh the distributed surface when distortion exceeds threshold.
+
+    Global communication pattern: an allreduce of the distortion
+    metric, then (when triggered) a gather of the full surface to rank
+    0, serial re-interpolation, and a scatter of the new blocks — the
+    additional global pattern the paper's future-work section predicts.
+
+    Returns True when a remesh happened.  Periodic meshes only.
+    """
+    mesh = pm.mesh
+    if not all(mesh.periodic):
+        raise ConfigurationError("remeshing is implemented for periodic meshes")
+    from repro.mpi.ops import MAX
+
+    comm = mesh.cart
+    dx, dy = mesh.spacings
+    local = parameter_distortion(pm.z.own, dx, dy)
+    worst = comm.allreduce(local, op=MAX)
+    if worst <= threshold:
+        return False
+
+    with comm.trace.phase("remesh"):
+        blocks = comm.gather(
+            (mesh.local_grid.owned_space.mins, pm.z.own.copy(), pm.w.own.copy()),
+            root=0,
+        )
+        payload = None
+        if comm.rank == 0:
+            n1, n2 = mesh.global_mesh.num_nodes
+            z_global = np.zeros((n1, n2, 3))
+            w_global = np.zeros((n1, n2, 2))
+            for (mins, z_own, w_own) in blocks:
+                i0, j0 = mins
+                ni, nj = z_own.shape[:2]
+                z_global[i0: i0 + ni, j0: j0 + nj] = z_own
+                w_global[i0: i0 + ni, j0: j0 + nj] = w_own
+            z_new, w_new = remesh_uniform(
+                z_global, w_global, mesh.global_mesh.low, mesh.global_mesh.extent
+            )
+            payload = [None] * comm.size
+            for rank in range(comm.size):
+                coords = comm.coords_of(rank)
+                space = mesh.local_grid.partitioner.owned_space(coords)
+                payload[rank] = (
+                    z_new[space.slices()].copy(),
+                    w_new[space.slices()].copy(),
+                )
+        z_own, w_own = comm.scatter(payload, root=0)
+        pm.set_state(z_own, w_own)
+        pm.gather_state()
+    return True

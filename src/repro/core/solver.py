@@ -1,0 +1,239 @@
+"""Top-level Solver: configuration, wiring and the run loop (paper §3.1).
+
+``Solver`` mirrors Beatnik's driver-facing class: it "initializes and
+invokes other classes based on parameters passed by the driver program
+and runs the simulation for the specified number of timesteps."  A
+:class:`SolverConfig` is the Python analogue of a rocket-rig input deck.
+
+Typical use::
+
+    from repro import mpi
+    from repro.core import Solver, SolverConfig, InitialCondition
+
+    config = SolverConfig(num_nodes=(64, 64), order="low")
+    ic = InitialCondition(kind="multi_mode", magnitude=0.05, period=4)
+
+    def program(comm):
+        solver = Solver(comm, config, ic)
+        solver.run(20)
+        return solver.diagnostics()
+
+    results = mpi.run_spmd(4, program)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.core.br_cutoff import CutoffBRSolver
+from repro.core.br_exact import ExactBRSolver
+from repro.core.initial_conditions import InitialCondition, apply_initial_condition
+from repro.core.problem_manager import ProblemManager
+from repro.core.surface_mesh import SurfaceMesh
+from repro.core.time_integrator import TimeIntegrator
+from repro.core.zmodel import Order, ZModel, ZModelParameters
+from repro.fft.config import FftConfig
+from repro.fft.dfft import DistributedFFT2D
+from repro.mpi.comm import Comm
+from repro.util.errors import ConfigurationError
+
+__all__ = ["SolverConfig", "Solver"]
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """A rocket-rig input deck.
+
+    Attributes mirror Beatnik's driver options; see DESIGN.md §3 for the
+    decks used by each paper experiment.
+
+    Notes
+    -----
+    * ``eps`` (Krasny desingularization) defaults to
+      ``eps_factor × min(Δα)`` when unset.
+    * ``dt`` defaults to ``cfl / σ_max`` with σ_max = sqrt(A g k_max),
+      the fastest linear RT growth rate on the grid.
+    * ``spatial_low/high`` bound the 3D spatial mesh of the cutoff
+      solver; unset, they cover the parameter domain horizontally and
+      ±25 % of its extent vertically.
+    """
+
+    num_nodes: tuple[int, int] = (64, 64)
+    low: tuple[float, float] = (-1.0, -1.0)
+    high: tuple[float, float] = (1.0, 1.0)
+    periodic: tuple[bool, bool] = (True, True)
+    order: str = "low"
+    br_solver: str = "exact"          # "exact" | "cutoff"
+    atwood: float = 0.5
+    gravity: float = 10.0
+    mu: float = 0.0
+    bernoulli: float = 1.0
+    eps: Optional[float] = None
+    eps_factor: float = 1.0
+    dt: Optional[float] = None
+    cfl: float = 0.25
+    cutoff: float = 0.5
+    br_images: bool = False
+    spatial_low: Optional[tuple[float, float, float]] = None
+    spatial_high: Optional[tuple[float, float, float]] = None
+    fft_config: FftConfig = field(default_factory=FftConfig)
+
+    # -- derived values -------------------------------------------------------
+
+    def spacing(self) -> tuple[float, float]:
+        dx = (self.high[0] - self.low[0]) / (
+            self.num_nodes[0] if self.periodic[0] else self.num_nodes[0] - 1
+        )
+        dy = (self.high[1] - self.low[1]) / (
+            self.num_nodes[1] if self.periodic[1] else self.num_nodes[1] - 1
+        )
+        return dx, dy
+
+    def effective_eps(self) -> float:
+        if self.eps is not None:
+            if self.eps <= 0:
+                raise ConfigurationError(f"eps must be positive, got {self.eps}")
+            return self.eps
+        return self.eps_factor * min(self.spacing())
+
+    def stable_dt(self) -> float:
+        """CFL-limited timestep from the linear RT dispersion relation."""
+        ag = abs(self.atwood * self.gravity)
+        if ag == 0.0:
+            return 1e-2
+        kmax = math.pi / min(self.spacing())
+        sigma = math.sqrt(ag * kmax)
+        return self.cfl / sigma
+
+    def effective_dt(self) -> float:
+        if self.dt is not None:
+            if self.dt <= 0:
+                raise ConfigurationError(f"dt must be positive, got {self.dt}")
+            return self.dt
+        return self.stable_dt()
+
+    def spatial_bounds(self) -> tuple[tuple[float, float, float], tuple[float, float, float]]:
+        if self.spatial_low is not None and self.spatial_high is not None:
+            return tuple(self.spatial_low), tuple(self.spatial_high)  # type: ignore[return-value]
+        ext = max(self.high[0] - self.low[0], self.high[1] - self.low[1])
+        zpad = 0.25 * ext
+        return (
+            (self.low[0], self.low[1], -zpad),
+            (self.high[0], self.high[1], zpad),
+        )
+
+    def with_updates(self, **kwargs: Any) -> "SolverConfig":
+        """Functional update (input decks are immutable)."""
+        return replace(self, **kwargs)
+
+
+class Solver:
+    """Builds the module stack from a config and runs timesteps."""
+
+    def __init__(
+        self, comm: Comm, config: SolverConfig, ic: InitialCondition
+    ) -> None:
+        self.comm = comm
+        self.config = config
+        order = Order.parse(config.order)
+        self.order = order
+
+        self.mesh = SurfaceMesh(
+            comm, config.low, config.high, config.num_nodes, config.periodic
+        )
+        self.pm = ProblemManager(self.mesh)
+        apply_initial_condition(self.pm, ic)
+
+        fft = None
+        if order in (Order.LOW, Order.MEDIUM):
+            fft = DistributedFFT2D(
+                self.mesh.cart, config.num_nodes, config.fft_config
+            )
+        br = None
+        if order in (Order.MEDIUM, Order.HIGH):
+            eps = config.effective_eps()
+            if config.br_solver == "exact":
+                br = ExactBRSolver(
+                    self.mesh.cart, self.mesh, eps,
+                    periodic_images=config.br_images,
+                )
+            elif config.br_solver == "cutoff":
+                s_low, s_high = config.spatial_bounds()
+                br = CutoffBRSolver(
+                    self.mesh.cart, self.mesh, eps, config.cutoff, s_low, s_high
+                )
+            else:
+                raise ConfigurationError(
+                    f"unknown br_solver {config.br_solver!r}; use 'exact' or 'cutoff'"
+                )
+        self.br_solver = br
+
+        params = ZModelParameters(
+            atwood=config.atwood,
+            gravity=config.gravity,
+            mu=config.mu,
+            bernoulli=config.bernoulli,
+        )
+        self.zmodel = ZModel(self.pm, order, params, fft=fft, br_solver=br)
+        self.integrator = TimeIntegrator(self.pm, self.zmodel)
+        self.dt = config.effective_dt()
+        self.time = 0.0
+        self.step_count = 0
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance one timestep (three ZModel evaluations)."""
+        self.integrator.step(self.dt)
+        self.time += self.dt
+        self.step_count += 1
+
+    def run(
+        self,
+        nsteps: int,
+        on_step: Optional[Callable[["Solver"], None]] = None,
+        write_freq: int = 0,
+        writer: Optional[Callable[["Solver"], None]] = None,
+    ) -> None:
+        """Run ``nsteps`` timesteps, optionally invoking hooks.
+
+        ``on_step(solver)`` fires after every step; ``writer(solver)``
+        fires every ``write_freq`` steps (and after the last step).
+        """
+        if nsteps < 0:
+            raise ConfigurationError(f"nsteps must be >= 0, got {nsteps}")
+        for n in range(nsteps):
+            self.step()
+            if on_step is not None:
+                on_step(self)
+            if writer is not None and write_freq > 0 and (
+                self.step_count % write_freq == 0 or n == nsteps - 1
+            ):
+                writer(self)
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def interface_amplitude(self) -> float:
+        """Global max |z₃| (the RT growth diagnostic)."""
+        from repro.mpi.ops import MAX
+
+        local = float(np.max(np.abs(self.pm.z.own[..., 2])))
+        return self.comm.allreduce(local, op=MAX)
+
+    def vorticity_norm(self) -> float:
+        """Global L2 norm of the vorticity over owned nodes."""
+        local = float(np.sum(self.pm.w.own ** 2))
+        return math.sqrt(self.comm.allreduce(local))
+
+    def diagnostics(self) -> dict[str, float]:
+        return {
+            "time": self.time,
+            "steps": float(self.step_count),
+            "amplitude": self.interface_amplitude(),
+            "vorticity_norm": self.vorticity_norm(),
+            "dt": self.dt,
+        }

@@ -1,0 +1,105 @@
+"""SurfaceMesh: the distributed 2D interface mesh (paper §2).
+
+Binds the global mesh description, the Cartesian communicator and the
+per-rank local grid into the object the rest of the solver stack works
+with.  Each node of the surface mesh carries the 3D position ``z`` and
+two vorticity components ``(γ1, γ2)`` of one interface point; the
+fields themselves live in :class:`~repro.core.problem_manager.ProblemManager`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.grid.global_mesh import GlobalMesh2D
+from repro.grid.halo import HaloExchange
+from repro.grid.local_grid import LocalGrid2D
+from repro.mpi.cart import CartComm, create_cart
+from repro.mpi.comm import Comm
+from repro.util.errors import ConfigurationError
+
+__all__ = ["SurfaceMesh"]
+
+
+class SurfaceMesh:
+    """The distributed 2D interface mesh with its halo machinery."""
+
+    HALO_WIDTH = 2  # two-node-deep stencils (paper §3.1)
+
+    def __init__(
+        self,
+        comm: Comm,
+        low: Sequence[float],
+        high: Sequence[float],
+        num_nodes: Sequence[int],
+        periodic: Sequence[bool],
+    ) -> None:
+        self.global_mesh = GlobalMesh2D.create(low, high, num_nodes, periodic)
+        if isinstance(comm, CartComm):
+            if comm.ndims != 2:
+                raise ConfigurationError("SurfaceMesh needs a 2D CartComm")
+            self.cart = comm
+        else:
+            self.cart = create_cart(
+                comm, ndims=2, periods=tuple(bool(p) for p in periodic)
+            )
+        if self.cart.periods != self.global_mesh.periodic:
+            raise ConfigurationError(
+                f"cart periodicity {self.cart.periods} != mesh "
+                f"{self.global_mesh.periodic}"
+            )
+        self.local_grid = LocalGrid2D(
+            self.global_mesh, self.cart, halo_width=self.HALO_WIDTH
+        )
+        self.halo = HaloExchange(self.local_grid)
+
+    # -- convenience accessors ------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self.cart.rank
+
+    @property
+    def size(self) -> int:
+        return self.cart.size
+
+    @property
+    def periodic(self) -> tuple[bool, bool]:
+        return self.global_mesh.periodic
+
+    @property
+    def spacings(self) -> tuple[float, float]:
+        return self.global_mesh.spacings
+
+    @property
+    def cell_area(self) -> float:
+        return self.global_mesh.cell_area
+
+    @property
+    def owned_shape(self) -> tuple[int, int]:
+        return self.local_grid.owned_shape
+
+    @property
+    def local_shape(self) -> tuple[int, int]:
+        return self.local_grid.local_shape
+
+    @property
+    def total_nodes(self) -> int:
+        return self.global_mesh.total_nodes
+
+    def owned_coordinates(self) -> tuple[np.ndarray, np.ndarray]:
+        """(X, Y) parameter coordinates of owned nodes."""
+        return self.local_grid.owned_coordinates()
+
+    def gather(self, arrays: Sequence[np.ndarray]) -> None:
+        """Halo-exchange the given full local arrays in place."""
+        with self.cart.trace.phase("halo"):
+            self.halo.gather(arrays)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SurfaceMesh {self.global_mesh.num_nodes} over "
+            f"{self.cart.dims} ranks, periodic={self.periodic}>"
+        )

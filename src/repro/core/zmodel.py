@@ -1,0 +1,243 @@
+"""ZModel: low/medium/high-order interface derivatives (paper §2, §3.1).
+
+Computes the time derivatives of interface position ``z`` and vorticity
+``w = (γ1, γ2)`` from the current surface state, at one of three model
+orders that differ in *how the Birkhoff-Rott (BR) velocity is obtained*
+— and therefore in what they make the communication system do:
+
+=========  =======================  ==========================  ===========
+Order      position velocity ż      velocity in the γ̇ potential  needs
+=========  =======================  ==========================  ===========
+LOW        spectral (FFT Riesz)     spectral                    FFT, periodic
+MEDIUM     Birkhoff-Rott solver     spectral                    FFT + BR solver
+HIGH       Birkhoff-Rott solver     Birkhoff-Rott               BR solver only
+=========  =======================  ==========================  ===========
+
+(The paper: the low-order solver approximates the BR integral with
+FFTs; the medium-order solver couples the FFT solver and the far-field
+solver, "using FFTs for calculating changes in vorticity"; the
+high-order solver evaluates the BR integral directly and is the only
+order that works with non-periodic boundaries.)
+
+Model equations (DESIGN.md §4)
+------------------------------
+Surface vorticity vector      ``ω = γ1 ∂₁z + γ2 ∂₂z``
+Spectral (flat-linearized) BR ``Ŵ₃ = i (k₁ γ̂2 − k₂ γ̂1) / (2|k|)``
+Direct BR quadrature          see :mod:`repro.core.kernels`
+Potential                     ``Φ = g z₃ − β |W|²/2``
+Evolution                     ``ż = W``,
+                              ``γ̇1 = 2A ∂₂Φ / |n| + μ Δ_s γ1``,
+                              ``γ̇2 = −2A ∂₁Φ / |n| + μ Δ_s γ2``
+
+Linearized about a flat interface this reproduces the Rayleigh-Taylor
+dispersion relation σ = sqrt(A g |k|) (pinned by tests), and the ⊥
+gradient structure of the baroclinic source is what makes the spectral
+and direct BR velocities consistent with each other.
+
+The ZModel performs *no direct communication* — it calls the halo
+gather (via :class:`~repro.core.problem_manager.ProblemManager`), the
+distributed FFT, and the BR solver, each of which communicates in its
+own phase, mirroring Beatnik's class structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.core import operators as ops
+from repro.core.problem_manager import ProblemManager
+from repro.fft.dfft import DistributedFFT2D
+from repro.util.errors import ConfigurationError
+
+__all__ = ["Order", "ZModelParameters", "ZModel", "BRSolverProtocol"]
+
+
+class Order(Enum):
+    """Z-Model solution order (template tag in Beatnik's C++)."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    @classmethod
+    def parse(cls, value: "Order | str") -> "Order":
+        if isinstance(value, Order):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown order {value!r}; options: low, medium, high"
+            ) from None
+
+
+class BRSolverProtocol(Protocol):
+    """Interface every Birkhoff-Rott solver implements."""
+
+    name: str
+
+    def compute_velocities(
+        self, z_own: np.ndarray, omega_own: np.ndarray
+    ) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class ZModelParameters:
+    """Physical and regularization parameters of the Z-Model.
+
+    Attributes
+    ----------
+    atwood:
+        Atwood number A = (ρ₂ − ρ₁)/(ρ₂ + ρ₁); A·g > 0 is the unstable
+        (rocket-rig) configuration.
+    gravity:
+        Acceleration magnitude g in the z direction.
+    mu:
+        Artificial-viscosity coefficient on the vorticity (μ Δ_s γ);
+        0 disables it.
+    bernoulli:
+        β factor on the |W|²/2 term of the potential; 0 reduces γ̇ to
+        the purely baroclinic linear source.
+    geometric:
+        Divide the baroclinic source by the area element |t1 × t2|
+        (exact 1 on a flat surface).
+    """
+
+    atwood: float = 0.5
+    gravity: float = 10.0
+    mu: float = 0.0
+    bernoulli: float = 1.0
+    geometric: bool = True
+
+
+class ZModel:
+    """Derivative computation bound to one ProblemManager."""
+
+    def __init__(
+        self,
+        pm: ProblemManager,
+        order: Order | str,
+        params: ZModelParameters,
+        fft: Optional[DistributedFFT2D] = None,
+        br_solver: Optional[BRSolverProtocol] = None,
+    ) -> None:
+        self.pm = pm
+        self.order = Order.parse(order)
+        self.params = params
+        self.fft = fft
+        self.br_solver = br_solver
+        mesh = pm.mesh
+        if self.order in (Order.LOW, Order.MEDIUM):
+            if fft is None:
+                raise ConfigurationError(f"{self.order} order requires an FFT solver")
+            if not (mesh.periodic[0] and mesh.periodic[1]):
+                raise ConfigurationError(
+                    "low- and medium-order solves require periodic boundaries "
+                    "(the paper notes Beatnik's reliance on periodic FFT solvers)"
+                )
+            if tuple(fft.global_shape) != tuple(mesh.global_mesh.num_nodes):
+                raise ConfigurationError(
+                    f"FFT shape {fft.global_shape} != mesh {mesh.global_mesh.num_nodes}"
+                )
+        if self.order in (Order.MEDIUM, Order.HIGH) and br_solver is None:
+            raise ConfigurationError(f"{self.order} order requires a BR solver")
+        # Evaluation statistics (examples/benchmarks read these).
+        self.evaluations = 0
+
+    # -- pieces ------------------------------------------------------------
+
+    def _spectral_velocity(self, w_own: np.ndarray) -> np.ndarray:
+        """Low-order BR approximation via the Riesz multiplier (FFT)."""
+        assert self.fft is not None
+        mesh = self.pm.mesh
+        trace = self.pm.mesh.cart.trace
+        with trace.phase("fft"):
+            g1_hat = self.fft.forward(w_own[..., 0])
+            g2_hat = self.fft.forward(w_own[..., 1])
+            kx, ky = self.fft.brick_wavenumbers(mesh.global_mesh.extent)
+            kmag = np.sqrt(kx * kx + ky * ky)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                mult = np.where(kmag > 0.0, 0.5 / np.where(kmag > 0, kmag, 1.0), 0.0)
+            w3_hat = 1j * (kx * g2_hat - ky * g1_hat) * mult
+            w3 = self.fft.backward_real(w3_hat)
+        out = np.zeros(w3.shape + (3,))
+        out[..., 2] = w3
+        return out
+
+    def _br_velocity(self, z_own: np.ndarray, omega_own: np.ndarray) -> np.ndarray:
+        assert self.br_solver is not None
+        return self.br_solver.compute_velocities(z_own, omega_own)
+
+    # -- main entry ------------------------------------------------------------
+
+    def compute_derivatives(self) -> tuple[np.ndarray, np.ndarray]:
+        """(ż, γ̇) on owned nodes from the ProblemManager's current state.
+
+        Gathers halos, applies boundary conditions, computes geometry,
+        evaluates the order-appropriate velocities, and assembles the
+        evolution equations.  Purely local except for the gather, FFT
+        and BR-solver calls.
+        """
+        pm = self.pm
+        mesh = pm.mesh
+        p = self.params
+        trace = mesh.cart.trace
+        pm.gather_state()
+
+        dx_, dy_ = mesh.spacings
+        z_full = pm.z.full
+        w_full = pm.w.full
+        w_own = pm.w.own
+
+        with trace.phase("stencil"):
+            t1, t2, normal = ops.surface_normal(z_full, dx_, dy_)
+            deth = ops.area_element(normal)
+            omega = (
+                w_own[..., 0:1] * t1 + w_own[..., 1:2] * t2
+            )  # ω = γ1 t1 + γ2 t2
+            trace.record_compute(
+                "geometry", mesh.rank,
+                flops=40.0 * omega[..., 0].size,
+                bytes_moved=11.0 * 8 * omega[..., 0].size,
+                items=omega[..., 0].size,
+            )
+
+        need_fft = self.order in (Order.LOW, Order.MEDIUM)
+        need_br = self.order in (Order.MEDIUM, Order.HIGH)
+        w_fft = self._spectral_velocity(w_own) if need_fft else None
+        w_br = self._br_velocity(pm.z.own, omega) if need_br else None
+
+        w_total = w_br if need_br else w_fft
+        w_phi = w_fft if need_fft else w_br
+        assert w_total is not None and w_phi is not None
+
+        # Potential Φ = g z₃ − β |W|²/2, haloed for its gradient.
+        phi_own = p.gravity * pm.z.own[..., 2] - 0.5 * p.bernoulli * ops.dot(
+            w_phi, w_phi
+        )
+        phi_full = pm.full_from_own(phi_own, 1)
+        pm.gather_field(phi_full)
+
+        with trace.phase("stencil"):
+            dphi1 = ops.dx(phi_full, dx_)[..., 0]
+            dphi2 = ops.dy(phi_full, dy_)[..., 0]
+            geom = deth if p.geometric else 1.0
+            wdot = np.empty_like(w_own)
+            wdot[..., 0] = 2.0 * p.atwood * dphi2 / geom
+            wdot[..., 1] = -2.0 * p.atwood * dphi1 / geom
+            if p.mu != 0.0:
+                wdot[..., 0] += p.mu * ops.laplacian(w_full[..., 0], dx_, dy_)
+                wdot[..., 1] += p.mu * ops.laplacian(w_full[..., 1], dx_, dy_)
+            trace.record_compute(
+                "vorticity_update", mesh.rank,
+                flops=30.0 * wdot[..., 0].size,
+                bytes_moved=8.0 * 8 * wdot[..., 0].size,
+                items=wdot[..., 0].size,
+            )
+
+        self.evaluations += 1
+        return np.ascontiguousarray(w_total), wdot

@@ -1,0 +1,37 @@
+"""Distributed FFT substrate (the heFFTe analogue).
+
+Provides a distributed 2D complex FFT over the surface mesh's brick
+decomposition with heFFTe's three communication flags (``alltoall``,
+``pencils``, ``reorder`` — paper Table 1).  The low-order ZModel solver
+computes its spectral Birkhoff-Rott approximation with this package,
+and the Fig. 9 benchmark sweeps all eight flag combinations.
+"""
+
+from repro.fft.config import ALL_CONFIGS, FftConfig
+from repro.fft.dfft import DistributedFFT2D
+from repro.fft.layouts import (
+    brick_layout,
+    cols_pencil_layout,
+    cols_slab_layout,
+    layout_for_stage,
+    rows_pencil_layout,
+    rows_slab_layout,
+)
+from repro.fft.remap import Remap
+from repro.fft.serial import fft2_serial, fft_flops, ifft2_serial
+
+__all__ = [
+    "ALL_CONFIGS",
+    "FftConfig",
+    "DistributedFFT2D",
+    "Remap",
+    "brick_layout",
+    "rows_slab_layout",
+    "cols_slab_layout",
+    "rows_pencil_layout",
+    "cols_pencil_layout",
+    "layout_for_stage",
+    "fft2_serial",
+    "ifft2_serial",
+    "fft_flops",
+]

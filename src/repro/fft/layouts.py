@@ -1,0 +1,132 @@
+"""Data layouts used by the distributed FFT pipeline.
+
+A *layout* assigns every rank a rectangular box of the global
+``N1 × N2`` array.  The FFT pipeline hops through three layouts:
+
+``brick``  →  *rows layout* (each rank owns complete rows; FFT along
+axis 1)  →  *cols layout* (complete columns; FFT along axis 0)  →
+``brick``.
+
+Two families of intermediate layouts exist, selected by the ``pencils``
+flag (:class:`repro.fft.config.FftConfig`):
+
+* **Global slabs** (``pencils=False``): rows/columns are split over all
+  ``P`` ranks linearly — every redistribution is a global exchange.
+* **Pencils** (``pencils=True``): rank ``(cx, cy)`` keeps axis-0 rows
+  within its own block-row ``cx`` (sub-split by ``cy``), so the
+  brick↔pencil hops move data only inside the ``Py``-rank row
+  sub-communicator (resp. ``Px``-rank column sub-communicator) —
+  the locality heFFTe's pencil mode buys.
+
+Every function returns one :class:`~repro.grid.indexspace.IndexSpace`
+per rank, indexed by linear Cartesian rank (row-major over ``dims``),
+and together the boxes exactly tile the global array (tested).
+"""
+
+from __future__ import annotations
+
+from repro.grid.indexspace import IndexSpace
+from repro.util.misc import prod, split_extent
+
+__all__ = [
+    "brick_layout",
+    "rows_slab_layout",
+    "cols_slab_layout",
+    "rows_pencil_layout",
+    "cols_pencil_layout",
+    "layout_for_stage",
+]
+
+
+def _linear(coords: tuple[int, int], dims: tuple[int, int]) -> int:
+    return coords[0] * dims[1] + coords[1]
+
+
+def brick_layout(
+    shape: tuple[int, int], dims: tuple[int, int]
+) -> list[IndexSpace]:
+    """The native 2D block decomposition (one brick per rank)."""
+    boxes: list[IndexSpace] = []
+    for cx in range(dims[0]):
+        for cy in range(dims[1]):
+            r0 = split_extent(shape[0], dims[0], cx)
+            r1 = split_extent(shape[1], dims[1], cy)
+            boxes.append(IndexSpace.from_ranges([r0, r1]))
+    return boxes
+
+
+def rows_slab_layout(
+    shape: tuple[int, int], dims: tuple[int, int]
+) -> list[IndexSpace]:
+    """Complete rows, split linearly over all P ranks."""
+    nranks = prod(dims)
+    return [
+        IndexSpace.from_ranges(
+            [split_extent(shape[0], nranks, r), (0, shape[1])]
+        )
+        for r in range(nranks)
+    ]
+
+
+def cols_slab_layout(
+    shape: tuple[int, int], dims: tuple[int, int]
+) -> list[IndexSpace]:
+    """Complete columns, split linearly over all P ranks."""
+    nranks = prod(dims)
+    return [
+        IndexSpace.from_ranges(
+            [(0, shape[0]), split_extent(shape[1], nranks, r)]
+        )
+        for r in range(nranks)
+    ]
+
+
+def rows_pencil_layout(
+    shape: tuple[int, int], dims: tuple[int, int]
+) -> list[IndexSpace]:
+    """Complete rows; each rank keeps rows inside its own block-row.
+
+    Rank ``(cx, cy)`` owns the ``cy``-th sub-split of block-row ``cx``'s
+    row range, over all columns.  Brick→rows_pencil therefore only moves
+    data between ranks sharing ``cx`` (the row sub-communicator).
+    """
+    boxes: list[IndexSpace] = []
+    for cx in range(dims[0]):
+        lo, hi = split_extent(shape[0], dims[0], cx)
+        for cy in range(dims[1]):
+            sub = split_extent(hi - lo, dims[1], cy)
+            boxes.append(
+                IndexSpace.from_ranges([(lo + sub[0], lo + sub[1]), (0, shape[1])])
+            )
+    return boxes
+
+
+def cols_pencil_layout(
+    shape: tuple[int, int], dims: tuple[int, int]
+) -> list[IndexSpace]:
+    """Complete columns; each rank keeps columns inside its block-column."""
+    boxes: list[IndexSpace] = [IndexSpace.from_shape((0, 0))] * prod(dims)
+    for cy in range(dims[1]):
+        lo, hi = split_extent(shape[1], dims[1], cy)
+        for cx in range(dims[0]):
+            sub = split_extent(hi - lo, dims[0], cx)
+            boxes[_linear((cx, cy), dims)] = IndexSpace.from_ranges(
+                [(0, shape[0]), (lo + sub[0], lo + sub[1])]
+            )
+    return boxes
+
+
+def layout_for_stage(
+    stage: str, shape: tuple[int, int], dims: tuple[int, int], pencils: bool
+) -> list[IndexSpace]:
+    """Layout boxes for a named pipeline stage.
+
+    ``stage`` is one of ``brick``, ``rows``, ``cols``.
+    """
+    if stage == "brick":
+        return brick_layout(shape, dims)
+    if stage == "rows":
+        return rows_pencil_layout(shape, dims) if pencils else rows_slab_layout(shape, dims)
+    if stage == "cols":
+        return cols_pencil_layout(shape, dims) if pencils else cols_slab_layout(shape, dims)
+    raise ValueError(f"unknown FFT stage {stage!r}")

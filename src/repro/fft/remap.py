@@ -1,0 +1,181 @@
+"""Layout redistribution (the communication heart of the distributed FFT).
+
+A :class:`Remap` moves a global 2D array from one layout (one box per
+rank) to another.  Each rank intersects its source box with every
+destination box to find what it must send, and every source box with
+its own destination box to find what it will receive.  How the pieces
+travel is governed by :class:`~repro.fft.config.FftConfig`:
+
+* ``alltoall=True`` — one ``exchange_arrays`` collective (recorded as an
+  ``alltoallv`` with per-peer byte counts, exactly how heFFTe invokes
+  ``MPI_Alltoallv``);
+* ``alltoall=False`` — a mesh of ``Isend``/``Recv`` pairs, heFFTe's
+  "custom communication" path;
+* ``reorder=True`` — each peer's pieces are packed into one contiguous
+  buffer (one message per peer, plus a local pack/unpack pass);
+* ``reorder=False`` — in point-to-point mode, each naturally contiguous
+  row-run of the intersection is sent as its own (smaller) message; in
+  collective mode the wire volume is unchanged but the local copies are
+  strided (recorded as ``fft_strided`` compute events, which the
+  machine model costs at reduced bandwidth).
+
+The functional result is identical for all configurations (tested);
+only the communication/computation *structure* differs — which is
+precisely what the paper's Figure 9 experiment measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.fft.config import FftConfig
+from repro.grid.indexspace import IndexSpace
+from repro.mpi.comm import Comm
+from repro.util.errors import ConfigurationError
+
+__all__ = ["Remap"]
+
+
+class Remap:
+    """A reusable redistribution plan between two layouts."""
+
+    def __init__(
+        self,
+        comm: Comm,
+        src_boxes: Sequence[IndexSpace],
+        dst_boxes: Sequence[IndexSpace],
+        config: FftConfig,
+        tag_base: int,
+        label: str = "remap",
+    ) -> None:
+        if len(src_boxes) != comm.size or len(dst_boxes) != comm.size:
+            raise ConfigurationError(
+                "layouts must provide exactly one box per rank"
+            )
+        self.comm = comm
+        self.config = config
+        self.tag_base = tag_base
+        self.label = label
+        self.src_box = src_boxes[comm.rank]
+        self.dst_box = dst_boxes[comm.rank]
+        # What I send to each destination rank (global-index boxes).
+        self.send_parts: list[Optional[IndexSpace]] = [
+            self.src_box.intersect(dst_boxes[d]) for d in range(comm.size)
+        ]
+        # What I receive from each source rank.
+        self.recv_parts: list[Optional[IndexSpace]] = [
+            src_boxes[s].intersect(self.dst_box) for s in range(comm.size)
+        ]
+
+    # -- helpers --------------------------------------------------------------
+
+    def _extract(self, local: np.ndarray, part: IndexSpace) -> np.ndarray:
+        """Copy the piece ``part`` (global box) out of my source array."""
+        rel = part.relative_to(self.src_box.mins)
+        return np.ascontiguousarray(local[rel.slices()])
+
+    def _place(self, out: np.ndarray, part: IndexSpace, data: np.ndarray) -> None:
+        rel = part.relative_to(self.dst_box.mins)
+        out[rel.slices()] = data.reshape(part.shape)
+
+    def _record_copy(self, nbytes: int, packed: bool) -> None:
+        kernel = "fft_pack" if packed else "fft_strided"
+        self.comm.trace.record_compute(
+            kernel, self.comm.rank, flops=0.0, bytes_moved=2.0 * nbytes
+        )
+
+    # -- application --------------------------------------------------------------
+
+    def apply(self, local: np.ndarray) -> np.ndarray:
+        """Redistribute ``local`` (my source box) into my destination box."""
+        if tuple(local.shape) != self.src_box.shape:
+            raise ConfigurationError(
+                f"{self.label}: input shape {local.shape} != source box "
+                f"{self.src_box.shape}"
+            )
+        out = np.empty(self.dst_box.shape, dtype=local.dtype)
+        if self.config.alltoall:
+            self._apply_collective(local, out)
+        else:
+            self._apply_p2p(local, out)
+        return out
+
+    def _apply_collective(self, local: np.ndarray, out: np.ndarray) -> None:
+        per_dest: list[Optional[np.ndarray]] = []
+        for dest in range(self.comm.size):
+            part = self.send_parts[dest]
+            if part is None or part.empty:
+                per_dest.append(None)
+                continue
+            piece = self._extract(local, part)
+            self._record_copy(piece.nbytes, packed=self.config.reorder)
+            per_dest.append(piece.ravel())
+        received = self.comm.exchange_arrays(per_dest)
+        for src in range(self.comm.size):
+            part = self.recv_parts[src]
+            if part is None or part.empty:
+                continue
+            data = received[src]
+            self._record_copy(data.nbytes, packed=self.config.reorder)
+            self._place(out, part, data.astype(local.dtype, copy=False))
+
+    def _apply_p2p(self, local: np.ndarray, out: np.ndarray) -> None:
+        comm = self.comm
+        rank = comm.rank
+        # Self-copy avoids the mailbox entirely, like a real MPI shortcut.
+        self_part = self.send_parts[rank]
+        if self_part is not None and not self_part.empty:
+            self._place(out, self_part, self._extract(local, self_part))
+        # Post all sends (buffered), starting after self to stagger peers.
+        for shift in range(1, comm.size):
+            dest = (rank + shift) % comm.size
+            part = self.send_parts[dest]
+            if part is None or part.empty:
+                continue
+            piece = self._extract(local, part)
+            if self.config.reorder:
+                self._record_copy(piece.nbytes, packed=True)
+                comm.Isend(piece.ravel(), dest, self.tag_base)
+            else:
+                # One message per contiguous row-run of the intersection.
+                for row in piece:
+                    comm.Isend(np.ascontiguousarray(row), dest, self.tag_base)
+        # Receive from every peer that owes me a piece.
+        for shift in range(1, comm.size):
+            src = (rank - shift) % comm.size
+            part = self.recv_parts[src]
+            if part is None or part.empty:
+                continue
+            if self.config.reorder:
+                data = comm.Recv(None, src, self.tag_base)
+                self._record_copy(data.nbytes, packed=True)
+                self._place(out, part, data.astype(local.dtype, copy=False))
+            else:
+                rows = []
+                for _ in range(part.shape[0]):
+                    rows.append(comm.Recv(None, src, self.tag_base))
+                data = np.stack(rows)
+                self._record_copy(data.nbytes, packed=False)
+                self._place(out, part, data.astype(local.dtype, copy=False))
+
+    # -- introspection (used by tests and the machine patterns) ----------------
+
+    def send_counts_bytes(self, itemsize: int) -> list[int]:
+        """Bytes this rank ships to each destination (itemsize given)."""
+        return [
+            0 if part is None else part.size * itemsize
+            for part in self.send_parts
+        ]
+
+    def partner_count(self) -> int:
+        """Number of distinct remote peers this rank exchanges data with."""
+        partners = set()
+        for d, part in enumerate(self.send_parts):
+            if d != self.comm.rank and part is not None and not part.empty:
+                partners.add(d)
+        for s, part in enumerate(self.recv_parts):
+            if s != self.comm.rank and part is not None and not part.empty:
+                partners.add(s)
+        return len(partners)

@@ -1,0 +1,61 @@
+"""Serial FFT kernels and cost accounting.
+
+Thin wrappers over ``numpy.fft`` that (a) pin the transform conventions
+used across the library and (b) record roofline compute events so the
+machine model can cost the local transform work of each distributed
+stage.  A radix-2 style operation count of ``5 N log2 N`` flops per
+length-``N`` 1D complex transform is the standard estimate (Cooley-
+Tukey), which is all the scaling model needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fft_along", "ifft_along", "fft2_serial", "ifft2_serial", "fft_flops"]
+
+
+def fft_flops(n: int, batch: int) -> float:
+    """Estimated flops for ``batch`` complex 1D FFTs of length ``n``."""
+    if n <= 1:
+        return 0.0
+    return 5.0 * n * np.log2(n) * batch
+
+
+def fft_along(data: np.ndarray, axis: int, trace=None, rank: int = 0) -> np.ndarray:
+    """Complex forward FFT along one axis (norm='backward')."""
+    out = np.fft.fft(data, axis=axis)
+    if trace is not None:
+        n = data.shape[axis]
+        batch = data.size // max(n, 1)
+        trace.record_compute(
+            "fft1d", rank,
+            flops=fft_flops(n, batch),
+            bytes_moved=2.0 * out.nbytes,
+            items=data.size,
+        )
+    return out
+
+
+def ifft_along(data: np.ndarray, axis: int, trace=None, rank: int = 0) -> np.ndarray:
+    """Complex inverse FFT along one axis (norm='backward': scales 1/N)."""
+    out = np.fft.ifft(data, axis=axis)
+    if trace is not None:
+        n = data.shape[axis]
+        batch = data.size // max(n, 1)
+        trace.record_compute(
+            "ifft1d", rank,
+            flops=fft_flops(n, batch),
+            bytes_moved=2.0 * out.nbytes,
+            items=data.size,
+        )
+    return out
+
+
+def fft2_serial(data: np.ndarray) -> np.ndarray:
+    """Reference serial 2D transform (tests compare against this)."""
+    return np.fft.fft2(data)
+
+
+def ifft2_serial(data: np.ndarray) -> np.ndarray:
+    return np.fft.ifft2(data)

@@ -1,0 +1,23 @@
+"""Structured-grid substrate (the Cabana/Cajita analogue).
+
+Provides the distributed 2D mesh Beatnik's ``SurfaceMesh`` is built on:
+global mesh description, uniform 2D block partitioning over a Cartesian
+communicator, per-rank local grids with a depth-2 ghost frame, ghosted
+node arrays, and the two-phase halo exchange.
+"""
+
+from repro.grid.array import NodeArray
+from repro.grid.global_mesh import GlobalMesh2D
+from repro.grid.halo import HaloExchange
+from repro.grid.indexspace import IndexSpace
+from repro.grid.local_grid import LocalGrid2D
+from repro.grid.partition import BlockPartitioner2D
+
+__all__ = [
+    "NodeArray",
+    "GlobalMesh2D",
+    "HaloExchange",
+    "IndexSpace",
+    "LocalGrid2D",
+    "BlockPartitioner2D",
+]

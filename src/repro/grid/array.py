@@ -1,0 +1,104 @@
+"""Ghosted node arrays over a local grid (Cabana ``Array`` analogue).
+
+A :class:`NodeArray` is a numpy array of shape
+``(ni + 2h, nj + 2h, ncomp)`` — owned nodes plus the ghost frame — with
+views that make solver code read naturally: ``arr.own`` is the owned
+interior, ``arr.full`` everything.  Solver kernels operate on ``full``
+(so stencils can read ghosts) and write ``own``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.local_grid import LocalGrid2D
+from repro.util.errors import ConfigurationError
+
+__all__ = ["NodeArray"]
+
+
+class NodeArray:
+    """A multi-component field on the local grid, with ghosts."""
+
+    def __init__(
+        self,
+        local_grid: LocalGrid2D,
+        ncomp: int,
+        dtype: np.dtype | type = np.float64,
+        name: str = "field",
+    ) -> None:
+        if ncomp < 1:
+            raise ConfigurationError(f"ncomp must be >= 1, got {ncomp}")
+        self.local_grid = local_grid
+        self.ncomp = ncomp
+        self.name = name
+        ni, nj = local_grid.local_shape
+        self._data = np.zeros((ni, nj, ncomp), dtype=dtype)
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def full(self) -> np.ndarray:
+        """The whole local array, ghosts included (shape ni+2h, nj+2h, c)."""
+        return self._data
+
+    @property
+    def own(self) -> np.ndarray:
+        """View of owned nodes only (writable; shares memory with full)."""
+        si, sj = self.local_grid.own_slices()
+        return self._data[si, sj]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self._data.shape  # type: ignore[return-value]
+
+    # -- operations ----------------------------------------------------------
+
+    def fill(self, value: float) -> None:
+        self._data.fill(value)
+
+    def copy_from(self, other: "NodeArray") -> None:
+        """Copy all data (ghosts included) from a congruent array."""
+        if other.shape != self.shape:
+            raise ConfigurationError(
+                f"shape mismatch: {other.shape} vs {self.shape}"
+            )
+        np.copyto(self._data, other._data)
+
+    def clone(self, name: str | None = None) -> "NodeArray":
+        """Deep copy with the same grid/ncomp."""
+        out = NodeArray(
+            self.local_grid, self.ncomp, self.dtype, name or f"{self.name}_copy"
+        )
+        np.copyto(out._data, self._data)
+        return out
+
+    def axpy(self, alpha: float, x: "NodeArray") -> None:
+        """``self += alpha * x`` over the full array (used by RK stages)."""
+        self._data += alpha * x._data
+
+    def scale(self, alpha: float) -> None:
+        self._data *= alpha
+
+    def norm2_own(self, comm=None) -> float:
+        """Global L2 norm over owned nodes (allreduce when comm given)."""
+        local = float(np.sum(self.own.astype(np.float64) ** 2))
+        if comm is not None:
+            local = comm.allreduce(local)
+        return float(np.sqrt(local))
+
+    def max_abs_own(self, comm=None) -> float:
+        """Global max-abs over owned nodes (allreduce MAX when comm given)."""
+        local = float(np.max(np.abs(self.own))) if self.own.size else 0.0
+        if comm is not None:
+            from repro.mpi.ops import MAX
+
+            local = comm.allreduce(local, op=MAX)
+        return local
+
+    def __repr__(self) -> str:
+        return f"<NodeArray {self.name} shape={self.shape}>"

@@ -1,0 +1,141 @@
+"""Depth-``h`` halo exchange on the 2D block decomposition.
+
+Implements Cabana's halo ``gather`` for node arrays: after the
+exchange, each rank's ghost frame holds its neighbours' adjacent
+interior data.  The exchange is two-phase:
+
+1. axis 0: swap ``h``-row slabs of *owned columns* with the ±x
+   neighbours;
+2. axis 1: swap ``h``-column slabs spanning the *full local extent of
+   axis 0 including the ghosts just received* with the ±y neighbours.
+
+Phase 2 forwarding of phase-1 ghosts is what fills the corner ghosts
+without explicit diagonal messages — 4 messages per rank instead of 8,
+the standard structured-halo trick (and what Cabana does for node
+fields).
+
+Multiple arrays are packed into a single buffer per direction, so a
+halo gather of position+vorticity costs 4 messages regardless of the
+number of fields — matching how Beatnik amortizes halo latency.
+
+Periodicity is inherited from the Cartesian communicator: open edges
+have :data:`~repro.mpi.world.PROC_NULL` neighbours and their ghosts are
+left untouched (the boundary-condition code extrapolates into them).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.grid.local_grid import LocalGrid2D
+from repro.mpi.world import PROC_NULL
+from repro.util.errors import ConfigurationError
+
+__all__ = ["HaloExchange"]
+
+_TAG_BASE = 7100
+
+
+class HaloExchange:
+    """Reusable halo-exchange plan for one local grid."""
+
+    def __init__(self, local_grid: LocalGrid2D) -> None:
+        self.grid = local_grid
+        self.h = local_grid.halo_width
+
+    # -- slab geometry -----------------------------------------------------
+
+    def _slabs(self, axis: int, sign: int) -> tuple[tuple[slice, slice], tuple[slice, slice]]:
+        """(send_slab, recv_slab) local-array slices for one direction.
+
+        ``send_slab`` is my interior adjacent to face ``sign`` of
+        ``axis`` — the data my ``sign``-side neighbour needs for its
+        ghosts.  ``recv_slab`` is my ghost frame on face ``sign``,
+        filled by that neighbour's symmetric send.
+
+        Axis-0 slabs cover owned columns only; axis-1 slabs span the
+        full axis-0 extent (ghosts included) to complete corners.
+        """
+        h = self.h
+        ni, nj = self.grid.owned_shape
+        if axis == 0:
+            cols = slice(h, h + nj)  # owned columns only
+            if sign == -1:
+                return (slice(h, 2 * h), cols), (slice(0, h), cols)
+            return (slice(ni, ni + h), cols), (slice(ni + h, ni + 2 * h), cols)
+        if axis == 1:
+            rows = slice(0, ni + 2 * h)  # full extent incl. phase-1 ghosts
+            if sign == -1:
+                return (rows, slice(h, 2 * h)), (rows, slice(0, h))
+            return (rows, slice(nj, nj + h)), (rows, slice(nj + h, nj + 2 * h))
+        raise ConfigurationError(f"axis must be 0 or 1, got {axis}")
+
+    def message_bytes(self, arrays: Sequence[np.ndarray], axis: int) -> int:
+        """Bytes in one direction's packed message (model-facing helper)."""
+        send, _ = self._slabs(axis, -1)
+        return sum(int(a[send].nbytes) for a in arrays)
+
+    # -- exchange --------------------------------------------------------------
+
+    def gather(self, arrays: Sequence[np.ndarray]) -> None:
+        """Fill ghost frames of ``arrays`` from neighbouring ranks.
+
+        ``arrays`` are full local arrays (shape ``local_shape + (c,)``
+        or 2D); they are modified in place.  All arrays are exchanged in
+        the same 4 messages.
+        """
+        if self.h == 0:
+            return
+        cart = self.grid.cart
+        for a in arrays:
+            expected = self.grid.local_shape
+            if a.shape[:2] != expected:
+                raise ConfigurationError(
+                    f"array shape {a.shape} does not match local grid {expected}"
+                )
+        dtypes = {a.dtype for a in arrays}
+        if len(dtypes) > 1:
+            raise ConfigurationError(
+                f"all arrays in one gather must share a dtype, got {dtypes}"
+            )
+        for phase, axis in enumerate((0, 1)):
+            for dir_index, sign in enumerate((-1, 1)):
+                tag = _TAG_BASE + 2 * phase + dir_index
+                send_slab, recv_slab = self._slabs(axis, sign)
+                # My face-`sign` ghosts come from my `sign` neighbour;
+                # symmetrically my face-`(-sign)`-adjacent interior goes
+                # to my `-sign` neighbour.
+                offset = [0, 0]
+                offset[axis] = sign
+                src = cart.neighbor(tuple(offset))
+                offset[axis] = -sign
+                dest = cart.neighbor(tuple(offset))
+
+                send_slab_opp, _ = self._slabs(axis, -sign)
+                if dest != PROC_NULL:
+                    packed = np.concatenate(
+                        [np.ascontiguousarray(a[send_slab_opp]).ravel() for a in arrays]
+                    )
+                    cart.Send(packed, dest, tag)
+                if src != PROC_NULL:
+                    incoming = cart.Recv(None, src, tag)
+                    offset_elems = 0
+                    for a in arrays:
+                        region = a[recv_slab]
+                        n = region.size
+                        region[...] = incoming[offset_elems: offset_elems + n].reshape(
+                            region.shape
+                        )
+                        offset_elems += n
+
+    def neighbor_ranks(self) -> dict[tuple[int, int], int]:
+        """Map of the 4 face-neighbour offsets to ranks (incl. PROC_NULL)."""
+        out = {}
+        for axis in (0, 1):
+            for sign in (-1, 1):
+                offset = [0, 0]
+                offset[axis] = sign
+                out[tuple(offset)] = self.grid.cart.neighbor(tuple(offset))
+        return out

@@ -1,0 +1,97 @@
+"""2D block partitioning of the global mesh over a Cartesian comm.
+
+The paper (§2) motivates the 2D block decomposition: every ZModel
+derivative needs surface normals and Laplacians (stencils → halos), and
+distributed FFTs expect block-decomposed data.  This module is the
+single source of truth for "which global rows/columns does the rank at
+Cartesian coords (cx, cy) own"; the analytic communication-pattern
+generators in :mod:`repro.machine.patterns` import it too, which keeps
+modeled and functional message sizes identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.grid.indexspace import IndexSpace
+from repro.util.errors import ConfigurationError
+from repro.util.misc import block_bounds, dims_create
+
+__all__ = ["BlockPartitioner2D"]
+
+
+@dataclass(frozen=True)
+class BlockPartitioner2D:
+    """Uniform 2D block partition of an ``(N1, N2)`` node grid.
+
+    Parameters
+    ----------
+    num_nodes:
+        Global node counts.
+    dims:
+        Process-grid extents ``(Px, Py)``.
+    """
+
+    num_nodes: tuple[int, int]
+    dims: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if len(self.dims) != 2:
+            raise ConfigurationError("BlockPartitioner2D needs 2 process dims")
+        for n, p in zip(self.num_nodes, self.dims):
+            if p < 1:
+                raise ConfigurationError(f"process dim must be >= 1, got {p}")
+            if n < p:
+                raise ConfigurationError(
+                    f"cannot give {p} ranks at least one of {n} nodes"
+                )
+
+    @classmethod
+    def for_size(cls, num_nodes: Sequence[int], nranks: int) -> "BlockPartitioner2D":
+        """Partition for ``nranks`` with MPI_Dims_create-style factoring."""
+        return cls(
+            (int(num_nodes[0]), int(num_nodes[1])), dims_create(nranks, 2)
+        )
+
+    @property
+    def nblocks(self) -> int:
+        return self.dims[0] * self.dims[1]
+
+    def owned_space(self, coords: Sequence[int]) -> IndexSpace:
+        """Global index box owned by the block at Cartesian ``coords``."""
+        ranges = block_bounds(self.num_nodes, self.dims, coords)
+        return IndexSpace.from_ranges(ranges)
+
+    def owner_of(self, index: Sequence[int]) -> tuple[int, int]:
+        """Cartesian coords of the block owning global node ``index``."""
+        coords = []
+        for axis in range(2):
+            n, p, i = self.num_nodes[axis], self.dims[axis], int(index[axis])
+            if not 0 <= i < n:
+                raise ConfigurationError(f"index {i} outside axis {axis}")
+            base, extra = divmod(n, p)
+            # First `extra` blocks have (base+1) nodes.
+            boundary = extra * (base + 1)
+            if i < boundary:
+                coords.append(i // (base + 1))
+            else:
+                coords.append(extra + (i - boundary) // base)
+        return (coords[0], coords[1])
+
+    def all_spaces(self) -> list[IndexSpace]:
+        """Owned boxes for every block, row-major over the process grid."""
+        spaces = []
+        for cx in range(self.dims[0]):
+            for cy in range(self.dims[1]):
+                spaces.append(self.owned_space((cx, cy)))
+        return spaces
+
+    def validate_cover(self) -> None:
+        """Check the blocks exactly tile the global grid (used by tests)."""
+        total = sum(space.size for space in self.all_spaces())
+        expected = self.num_nodes[0] * self.num_nodes[1]
+        if total != expected:
+            raise ConfigurationError(
+                f"partition covers {total} nodes, expected {expected}"
+            )

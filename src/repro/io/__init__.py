@@ -1,0 +1,11 @@
+"""I/O substrate (the Silo analogue): VTK surface dumps + checkpoints."""
+
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+from repro.io.vtk import read_vtk_surface, write_vtk_surface
+
+__all__ = [
+    "load_checkpoint",
+    "save_checkpoint",
+    "read_vtk_surface",
+    "write_vtk_surface",
+]

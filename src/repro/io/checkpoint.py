@@ -1,0 +1,60 @@
+"""NPZ checkpointing of solver state.
+
+Saves/restores the full surface state (positions, vorticity, time,
+step) plus a JSON-encoded metadata dict, so long benchmark runs can be
+resumed and examples can hand results to post-processing scripts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(
+    path: str | os.PathLike,
+    *,
+    positions: np.ndarray,
+    vorticity: np.ndarray,
+    time: float,
+    step: int,
+    metadata: dict[str, Any] | None = None,
+) -> str:
+    """Write a checkpoint; returns the path written (``.npz`` appended
+    by numpy when missing)."""
+    path = os.fspath(path)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    np.savez_compressed(
+        path,
+        positions=np.asarray(positions, dtype=np.float64),
+        vorticity=np.asarray(vorticity, dtype=np.float64),
+        time=np.float64(time),
+        step=np.int64(step),
+        metadata=np.frombuffer(
+            json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_checkpoint(path: str | os.PathLike) -> dict[str, Any]:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    with np.load(os.fspath(path)) as data:
+        required = {"positions", "vorticity", "time", "step", "metadata"}
+        missing = required - set(data.files)
+        if missing:
+            raise ConfigurationError(f"checkpoint missing arrays: {sorted(missing)}")
+        return {
+            "positions": data["positions"],
+            "vorticity": data["vorticity"],
+            "time": float(data["time"]),
+            "step": int(data["step"]),
+            "metadata": json.loads(bytes(data["metadata"].tobytes()).decode("utf-8")),
+        }

@@ -1,0 +1,145 @@
+"""Legacy-VTK structured-grid writer/reader (the Silo analogue).
+
+Beatnik's ``SiloWriter`` dumps the surface mesh with its fields for
+visualization (paper Figures 1 and 2 are such dumps, colored by
+vorticity magnitude).  Silo is not available in Python, so we write
+ASCII legacy VTK — readable by ParaView/VisIt, trivially greppable in
+tests — plus a reader for our own output so round-trips are testable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["write_vtk_surface", "read_vtk_surface"]
+
+
+def write_vtk_surface(
+    path: str | os.PathLike,
+    positions: np.ndarray,
+    fields: Mapping[str, np.ndarray] | None = None,
+    title: str = "beatnik surface",
+) -> str:
+    """Write an ``(ni, nj, 3)`` surface with optional node fields.
+
+    ``fields`` values may be ``(ni, nj)`` scalars or ``(ni, nj, c)``
+    vectors (c ≤ 3 is padded to 3 as VTK requires).  Returns the path
+    written.
+    """
+    pos = np.asarray(positions, dtype=np.float64)
+    if pos.ndim != 3 or pos.shape[2] != 3:
+        raise ConfigurationError(
+            f"positions must be (ni, nj, 3), got {pos.shape}"
+        )
+    ni, nj, _ = pos.shape
+    fields = dict(fields or {})
+    for name, arr in fields.items():
+        arr = np.asarray(arr)
+        if arr.shape[:2] != (ni, nj):
+            raise ConfigurationError(
+                f"field {name!r} shape {arr.shape} does not match mesh ({ni},{nj})"
+            )
+
+    path = os.fspath(path)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write("# vtk DataFile Version 3.0\n")
+        fh.write(f"{title}\n")
+        fh.write("ASCII\n")
+        fh.write("DATASET STRUCTURED_GRID\n")
+        # VTK dimension order: x varies fastest — write as (nj, ni, 1)
+        fh.write(f"DIMENSIONS {nj} {ni} 1\n")
+        fh.write(f"POINTS {ni * nj} double\n")
+        flat = pos.reshape(ni * nj, 3)
+        for row in flat:
+            fh.write(f"{row[0]:.12g} {row[1]:.12g} {row[2]:.12g}\n")
+        if fields:
+            fh.write(f"POINT_DATA {ni * nj}\n")
+            for name, arr in fields.items():
+                arr = np.asarray(arr, dtype=np.float64)
+                if arr.ndim == 2:
+                    fh.write(f"SCALARS {name} double 1\n")
+                    fh.write("LOOKUP_TABLE default\n")
+                    for v in arr.reshape(-1):
+                        fh.write(f"{v:.12g}\n")
+                else:
+                    c = arr.shape[2]
+                    if c > 3:
+                        raise ConfigurationError(
+                            f"field {name!r} has {c} components; VTK vectors max 3"
+                        )
+                    padded = np.zeros((ni * nj, 3))
+                    padded[:, :c] = arr.reshape(ni * nj, c)
+                    fh.write(f"VECTORS {name} double\n")
+                    for row in padded:
+                        fh.write(f"{row[0]:.12g} {row[1]:.12g} {row[2]:.12g}\n")
+    return path
+
+
+def read_vtk_surface(
+    path: str | os.PathLike,
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Read a file produced by :func:`write_vtk_surface`.
+
+    Returns ``(positions (ni, nj, 3), fields)``.  Only supports the
+    subset this module writes (sufficient for round-trip tests and
+    post-processing of example outputs).
+    """
+    with open(os.fspath(path), "r", encoding="ascii") as fh:
+        lines = [line.strip() for line in fh]
+    idx = 0
+
+    def expect(prefix: str) -> str:
+        nonlocal idx
+        while idx < len(lines) and not lines[idx]:
+            idx += 1
+        if idx >= len(lines) or not lines[idx].startswith(prefix):
+            raise ConfigurationError(
+                f"{path}: expected {prefix!r} at line {idx + 1}"
+            )
+        line = lines[idx]
+        idx += 1
+        return line
+
+    expect("# vtk DataFile")
+    idx += 1  # title
+    expect("ASCII")
+    expect("DATASET STRUCTURED_GRID")
+    dims = expect("DIMENSIONS").split()[1:]
+    nj, ni = int(dims[0]), int(dims[1])
+    npoints = int(expect("POINTS").split()[1])
+    if npoints != ni * nj:
+        raise ConfigurationError(f"{path}: POINTS {npoints} != {ni}*{nj}")
+    pos = np.array(
+        [[float(v) for v in lines[idx + p].split()] for p in range(npoints)]
+    )
+    idx += npoints
+    positions = pos.reshape(ni, nj, 3)
+
+    fields: dict[str, np.ndarray] = {}
+    while idx < len(lines):
+        line = lines[idx]
+        idx += 1
+        if not line or line.startswith("POINT_DATA"):
+            continue
+        if line.startswith("SCALARS"):
+            name = line.split()[1]
+            idx += 1  # LOOKUP_TABLE
+            vals = np.array([float(lines[idx + p]) for p in range(npoints)])
+            idx += npoints
+            fields[name] = vals.reshape(ni, nj)
+        elif line.startswith("VECTORS"):
+            name = line.split()[1]
+            vals = np.array(
+                [[float(v) for v in lines[idx + p].split()] for p in range(npoints)]
+            )
+            idx += npoints
+            fields[name] = vals.reshape(ni, nj, 3)
+        else:
+            raise ConfigurationError(f"{path}: unsupported section {line!r}")
+    return positions, fields

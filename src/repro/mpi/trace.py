@@ -1,0 +1,279 @@
+"""Communication/computation event tracing.
+
+Every operation performed through :class:`repro.mpi.Comm` is recorded as a
+:class:`CommEvent` (and kernels may record :class:`ComputeEvent` objects)
+into a :class:`CommTrace`.  Traces serve two purposes:
+
+* tests assert on them (who talked to whom, how many bytes, in which
+  phase), and
+* :mod:`repro.machine.replay` converts them into modeled wall-clock time
+  on a described machine, which is how the benchmark harness reproduces
+  the paper's Lassen scaling studies without Lassen.
+
+Phases
+------
+Solver code labels logical phases (``"halo"``, ``"fft"``, ``"migrate"``,
+...) with :meth:`CommTrace.phase`, a context manager.  The label is stored
+per-thread so SPMD ranks running in different threads do not interfere.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+__all__ = ["CommEvent", "ComputeEvent", "CommTrace", "NullTrace"]
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One communication operation observed at one rank.
+
+    Attributes
+    ----------
+    kind:
+        Operation name: ``send``, ``recv``, ``sendrecv``, ``barrier``,
+        ``bcast``, ``reduce``, ``allreduce``, ``gather``, ``allgather``,
+        ``scatter``, ``alltoall``, ``alltoallv``.
+    rank:
+        The rank that recorded the event.
+    peer:
+        Peer rank for point-to-point operations, root for rooted
+        collectives, ``None`` for symmetric collectives.
+    nbytes:
+        Payload bytes sent (for ``send``/rooted ops) or received (for
+        ``recv``).  For vector collectives this is the total bytes this
+        rank contributes.
+    counts:
+        For ``alltoall``/``alltoallv``/``allgather``: per-peer byte counts
+        sent by this rank, used by the machine model to cost irregular
+        exchanges. ``None`` otherwise.
+    comm_size / comm_id:
+        Size and identity of the communicator the operation ran on, so
+        the model can cost sub-communicator collectives correctly.
+    phase:
+        The solver phase label active when the event was recorded.
+    seq:
+        Per-rank monotonically increasing sequence number.
+    """
+
+    kind: str
+    rank: int
+    peer: Optional[int]
+    nbytes: int
+    phase: str
+    seq: int
+    tag: int = 0
+    counts: Optional[tuple[int, ...]] = None
+    comm_size: int = 1
+    comm_id: int = 0
+    group: Optional[tuple[int, ...]] = None
+
+
+@dataclass(frozen=True)
+class ComputeEvent:
+    """One computational kernel invocation observed at one rank.
+
+    ``flops`` and ``bytes_moved`` feed the roofline model in
+    :mod:`repro.machine.roofline`; ``items`` is a free-form work count
+    (mesh points, interaction pairs) used by tests and diagnostics.
+    """
+
+    kernel: str
+    rank: int
+    flops: float
+    bytes_moved: float
+    items: int
+    phase: str
+    seq: int
+
+
+_DEFAULT_PHASE = "unphased"
+
+
+class CommTrace:
+    """Thread-safe container of :class:`CommEvent`/:class:`ComputeEvent`.
+
+    A single ``CommTrace`` is shared by all ranks of an SPMD run; events
+    carry their originating rank.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[CommEvent] = []
+        self._compute: list[ComputeEvent] = []
+        self._tls = threading.local()
+        self._seq: dict[int, int] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def current_phase(self) -> str:
+        return getattr(self._tls, "phase", _DEFAULT_PHASE)
+
+    @contextmanager
+    def phase(self, label: str) -> Iterator[None]:
+        """Label all events recorded by this thread with ``label``."""
+        previous = self.current_phase()
+        self._tls.phase = label
+        try:
+            yield
+        finally:
+            self._tls.phase = previous
+
+    def _next_seq(self, rank: int) -> int:
+        with self._lock:
+            seq = self._seq.get(rank, 0)
+            self._seq[rank] = seq + 1
+            return seq
+
+    def record_comm(
+        self,
+        kind: str,
+        rank: int,
+        peer: Optional[int],
+        nbytes: int,
+        *,
+        tag: int = 0,
+        counts: Optional[Sequence[int]] = None,
+        comm_size: int = 1,
+        comm_id: int = 0,
+        group: Optional[Sequence[int]] = None,
+    ) -> None:
+        event = CommEvent(
+            kind=kind,
+            rank=rank,
+            peer=peer,
+            nbytes=int(nbytes),
+            phase=self.current_phase(),
+            seq=self._next_seq(rank),
+            tag=tag,
+            counts=None if counts is None else tuple(int(c) for c in counts),
+            comm_size=comm_size,
+            comm_id=comm_id,
+            group=None if group is None else tuple(group),
+        )
+        with self._lock:
+            self._events.append(event)
+
+    def record_compute(
+        self,
+        kernel: str,
+        rank: int,
+        *,
+        flops: float,
+        bytes_moved: float,
+        items: int = 0,
+    ) -> None:
+        event = ComputeEvent(
+            kernel=kernel,
+            rank=rank,
+            flops=float(flops),
+            bytes_moved=float(bytes_moved),
+            items=int(items),
+            phase=self.current_phase(),
+            seq=self._next_seq(rank),
+        )
+        with self._lock:
+            self._compute.append(event)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def events(self) -> list[CommEvent]:
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def compute_events(self) -> list[ComputeEvent]:
+        with self._lock:
+            return list(self._compute)
+
+    def filter(
+        self,
+        *,
+        kind: Optional[str] = None,
+        rank: Optional[int] = None,
+        phase: Optional[str] = None,
+    ) -> list[CommEvent]:
+        """Events matching all provided criteria."""
+        result = []
+        for ev in self.events:
+            if kind is not None and ev.kind != kind:
+                continue
+            if rank is not None and ev.rank != rank:
+                continue
+            if phase is not None and ev.phase != phase:
+                continue
+            result.append(ev)
+        return result
+
+    def phases(self) -> list[str]:
+        """Distinct phase labels, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for ev in self.events:
+            seen.setdefault(ev.phase, None)
+        for ev in self.compute_events:
+            seen.setdefault(ev.phase, None)
+        return list(seen)
+
+    def total_bytes(self, *, kind: Optional[str] = None, phase: Optional[str] = None) -> int:
+        """Sum of ``nbytes`` over matching *send-side* events.
+
+        Receives are excluded so a Send/Recv pair is not double-counted.
+        """
+        total = 0
+        for ev in self.events:
+            if ev.kind == "recv":
+                continue
+            if kind is not None and ev.kind != kind:
+                continue
+            if phase is not None and ev.phase != phase:
+                continue
+            total += ev.nbytes
+        return total
+
+    def message_count(self, *, kind: Optional[str] = None, phase: Optional[str] = None) -> int:
+        """Number of matching events (excluding receives)."""
+        return len(
+            [
+                ev
+                for ev in self.events
+                if ev.kind != "recv"
+                and (kind is None or ev.kind == kind)
+                and (phase is None or ev.phase == phase)
+            ]
+        )
+
+    def partners(self, rank: int) -> set[int]:
+        """Set of peer ranks this rank exchanged point-to-point data with."""
+        out = set()
+        for ev in self.events:
+            if ev.rank == rank and ev.peer is not None and ev.kind in ("send", "recv", "sendrecv"):
+                out.add(ev.peer)
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._compute.clear()
+            self._seq.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events) + len(self._compute)
+
+
+class NullTrace(CommTrace):
+    """A trace that drops every event (used when tracing is disabled).
+
+    Keeping the same interface lets communication code record events
+    unconditionally without ``if trace is not None`` checks in hot paths.
+    """
+
+    def record_comm(self, *args, **kwargs) -> None:  # noqa: D102
+        return
+
+    def record_compute(self, *args, **kwargs) -> None:  # noqa: D102
+        return

@@ -1,0 +1,27 @@
+"""Particle/spatial substrate (ArborX + CabanaPD HaloComm analogues).
+
+Implements the communication machinery of Beatnik's cutoff Birkhoff-
+Rott solver: the 3D spatial mesh with its 2D x/y block decomposition,
+position-based particle migration with exact return routing, cutoff
+ghost (halo) exchange, and cell-list fixed-radius neighbor search.
+"""
+
+from repro.spatial.binning import Binning, CellGrid, bin_points
+from repro.spatial.halo import HaloResult, halo_exchange
+from repro.spatial.migrate import Migration, ParticleMigrator
+from repro.spatial.neighbors import NeighborLists, brute_force_lists, neighbor_lists
+from repro.spatial.spatial_mesh import SpatialMesh
+
+__all__ = [
+    "Binning",
+    "CellGrid",
+    "bin_points",
+    "HaloResult",
+    "halo_exchange",
+    "Migration",
+    "ParticleMigrator",
+    "NeighborLists",
+    "brute_force_lists",
+    "neighbor_lists",
+    "SpatialMesh",
+]

@@ -1,0 +1,160 @@
+"""Position-based particle migration (the CabanaPD ``HaloComm`` analogue).
+
+Implements steps 1 and 5 of the cutoff solver's per-derivative pipeline
+(paper §3.2): move each surface point from its 2D surface-index owner
+to its 3D spatial owner, compute there, and route the result back to
+the original owner *in the original order*.
+
+Every migrated particle carries provenance (source rank, source-local
+index) so :meth:`ParticleMigrator.migrate_back` is exact regardless of
+how the exchange reordered particles.  The communication is a single
+``exchange_arrays`` (alltoallv-equivalent) each way, which is also what
+the machine model costs for the ``migrate`` phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpi.comm import Comm
+from repro.spatial.spatial_mesh import SpatialMesh
+from repro.util.errors import CommunicationError
+
+__all__ = ["ParticleMigrator", "Migration"]
+
+
+@dataclass
+class Migration:
+    """Particles this rank received (owns spatially) after migration.
+
+    Attributes
+    ----------
+    positions:
+        ``(m, 3)`` spatial positions of the received particles.
+    payload:
+        ``(m, k)`` caller data carried along (vorticity, weights, ...).
+    src_rank / src_index:
+        Provenance: where each particle came from and its local index
+        there.  ``migrate_back`` uses these for exact return routing.
+    sent_count:
+        Number of particles this rank originally contributed.
+    """
+
+    positions: np.ndarray
+    payload: np.ndarray
+    src_rank: np.ndarray
+    src_index: np.ndarray
+    sent_count: int
+
+    @property
+    def count(self) -> int:
+        return self.positions.shape[0]
+
+
+class ParticleMigrator:
+    """Reusable migrate / migrate-back engine over one communicator."""
+
+    def __init__(self, comm: Comm, mesh: SpatialMesh) -> None:
+        if mesh.nblocks != comm.size:
+            raise CommunicationError(
+                f"spatial mesh has {mesh.nblocks} blocks for comm of size {comm.size}"
+            )
+        self.comm = comm
+        self.mesh = mesh
+
+    def migrate(self, positions: np.ndarray, payload: np.ndarray) -> Migration:
+        """Send every particle to its spatial owner; receive mine.
+
+        ``positions`` is ``(n, 3)``; ``payload`` is ``(n, k)`` (``k`` may
+        be 0).  Returns the particles this rank now owns spatially.
+        """
+        comm = self.comm
+        pos = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+        pay = np.asarray(payload, dtype=np.float64)
+        if pay.ndim == 1:
+            pay = pay.reshape(-1, 1) if pay.size else pay.reshape(pos.shape[0], 0)
+        n = pos.shape[0]
+        if pay.shape[0] != n:
+            raise CommunicationError(
+                f"payload rows {pay.shape[0]} != positions rows {n}"
+            )
+        owners = self.mesh.owner_of(pos) if n else np.empty(0, dtype=np.int64)
+        # Record: [x y z | payload... | src_rank src_index]
+        record = np.empty((n, 3 + pay.shape[1] + 2), dtype=np.float64)
+        record[:, 0:3] = pos
+        record[:, 3: 3 + pay.shape[1]] = pay
+        record[:, -2] = comm.rank
+        record[:, -1] = np.arange(n, dtype=np.float64)
+
+        per_dest: list[np.ndarray | None] = []
+        order = np.argsort(owners, kind="stable") if n else np.empty(0, dtype=np.int64)
+        sorted_rec = record[order]
+        sorted_owner = owners[order]
+        bounds = np.searchsorted(sorted_owner, np.arange(comm.size + 1))
+        for dest in range(comm.size):
+            chunk = sorted_rec[bounds[dest]: bounds[dest + 1]]
+            per_dest.append(chunk if chunk.size else None)
+        received = comm.exchange_arrays(per_dest)
+
+        width = record.shape[1]
+        arrived = [r.reshape(-1, width) for r in received if r.size]
+        merged = (
+            np.concatenate(arrived)
+            if arrived
+            else np.empty((0, width), dtype=np.float64)
+        )
+        k = pay.shape[1]
+        return Migration(
+            positions=merged[:, 0:3].copy(),
+            payload=merged[:, 3: 3 + k].copy(),
+            src_rank=merged[:, -2].astype(np.int64),
+            src_index=merged[:, -1].astype(np.int64),
+            sent_count=n,
+        )
+
+    def migrate_back(self, migration: Migration, results: np.ndarray) -> np.ndarray:
+        """Return per-particle ``results`` to the original owners.
+
+        ``results`` is ``(m, j)`` aligned with ``migration``'s particles.
+        The return value is ``(n, j)`` on each rank, ordered exactly like
+        the positions originally passed to :meth:`migrate`.
+        """
+        comm = self.comm
+        res = np.asarray(results, dtype=np.float64)
+        if res.ndim == 1:
+            res = res.reshape(-1, 1)
+        if res.shape[0] != migration.count:
+            raise CommunicationError(
+                f"results rows {res.shape[0]} != migrated particles {migration.count}"
+            )
+        j = res.shape[1]
+        record = np.empty((migration.count, j + 1), dtype=np.float64)
+        record[:, 0] = migration.src_index
+        record[:, 1:] = res
+
+        per_dest: list[np.ndarray | None] = []
+        order = np.argsort(migration.src_rank, kind="stable")
+        sorted_rec = record[order]
+        sorted_dst = migration.src_rank[order]
+        bounds = np.searchsorted(sorted_dst, np.arange(comm.size + 1))
+        for dest in range(comm.size):
+            chunk = sorted_rec[bounds[dest]: bounds[dest + 1]]
+            per_dest.append(chunk if chunk.size else None)
+        received = comm.exchange_arrays(per_dest)
+
+        out = np.empty((migration.sent_count, j), dtype=np.float64)
+        filled = 0
+        for r in received:
+            if not r.size:
+                continue
+            chunk = r.reshape(-1, j + 1)
+            idx = chunk[:, 0].astype(np.int64)
+            out[idx] = chunk[:, 1:]
+            filled += chunk.shape[0]
+        if filled != migration.sent_count:
+            raise CommunicationError(
+                f"migrate_back returned {filled} of {migration.sent_count} particles"
+            )
+        return out

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised intentionally by this package derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value or combination was supplied."""
+
+
+class CommunicationError(ReproError):
+    """A communication call was used incorrectly (size/type mismatch...)."""
+
+
+class DeadlockError(CommunicationError):
+    """A blocking communication call timed out.
+
+    The simulated MPI layer bounds every blocking wait so that an
+    incorrectly matched Send/Recv pair surfaces as a test failure instead
+    of a hung process.
+    """
+
+
+class RankAbortedError(CommunicationError):
+    """Another rank in the SPMD program raised; this rank was torn down."""

@@ -1,0 +1,143 @@
+"""Generic helpers: decomposition arithmetic and formatting.
+
+The block-decomposition helpers here are the single source of truth for
+"which index range does rank r own" throughout the library.  Both the
+functional distributed code (grid, FFT, spatial mesh) and the analytic
+communication-pattern generators in :mod:`repro.machine.patterns` call
+these, which is what keeps modeled message sizes consistent with the
+messages the functional code actually sends.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import reduce
+from typing import Sequence
+
+from repro.util.errors import ConfigurationError
+
+
+def prod(values: Sequence[int]) -> int:
+    """Integer product of a sequence (empty product is 1)."""
+    return reduce(lambda a, b: a * b, values, 1)
+
+
+def dims_create(nranks: int, ndims: int) -> tuple[int, ...]:
+    """Factor ``nranks`` into ``ndims`` factors, as square as possible.
+
+    Mirrors the behaviour of ``MPI_Dims_create``: the returned dims are
+    sorted in non-increasing order and their product is exactly
+    ``nranks``.
+
+    >>> dims_create(12, 2)
+    (4, 3)
+    >>> dims_create(64, 2)
+    (8, 8)
+    """
+    if nranks < 1:
+        raise ConfigurationError(f"nranks must be positive, got {nranks}")
+    if ndims < 1:
+        raise ConfigurationError(f"ndims must be positive, got {ndims}")
+    dims = [1] * ndims
+    remaining = nranks
+    # Repeatedly peel the largest prime factor onto the smallest dim.
+    factors: list[int] = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for factor in sorted(factors, reverse=True):
+        smallest = dims.index(min(dims))
+        dims[smallest] *= factor
+    return tuple(sorted(dims, reverse=True))
+
+
+def split_extent(n: int, parts: int, index: int) -> tuple[int, int]:
+    """Return the half-open range ``[lo, hi)`` of part ``index`` of ``n``.
+
+    The split is as even as possible: the first ``n % parts`` parts get
+    one extra element.  This matches the convention used by Cabana's
+    uniform block partitioner.
+    """
+    if parts < 1:
+        raise ConfigurationError(f"parts must be positive, got {parts}")
+    if not 0 <= index < parts:
+        raise ConfigurationError(f"index {index} out of range for {parts} parts")
+    base, extra = divmod(n, parts)
+    lo = index * base + min(index, extra)
+    hi = lo + base + (1 if index < extra else 0)
+    return lo, hi
+
+
+def block_bounds(
+    shape: Sequence[int], dims: Sequence[int], coords: Sequence[int]
+) -> tuple[tuple[int, int], ...]:
+    """N-dimensional block ownership: one ``split_extent`` per axis."""
+    if len(shape) != len(dims) or len(dims) != len(coords):
+        raise ConfigurationError("shape, dims and coords must have equal length")
+    return tuple(
+        split_extent(n, parts, index)
+        for n, parts, index in zip(shape, dims, coords)
+    )
+
+
+def human_bytes(nbytes: float) -> str:
+    """Format a byte count for log/benchmark output (e.g. ``1.5 MiB``)."""
+    if nbytes < 0:
+        return f"-{human_bytes(-nbytes)}"
+    units = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
+    value = float(nbytes)
+    for unit in units:
+        if value < 1024.0 or unit == units[-1]:
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def round_up_pow2(n: int) -> int:
+    """Smallest power of two >= n (n must be positive)."""
+    if n < 1:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def is_pow2(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Floor of log2 for positive integers."""
+    if n < 1:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    return n.bit_length() - 1
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division."""
+    return -(-a // b)
+
+
+def geometric_levels(lo: int, hi: int, factor: int = 2) -> list[int]:
+    """Geometric sweep points ``lo, lo*factor, ... <= hi`` (inclusive of hi).
+
+    Used by benchmark harnesses to generate GPU-count sweeps such as
+    4, 8, ..., 1024.
+    """
+    if lo < 1 or hi < lo or factor < 2:
+        raise ConfigurationError("invalid geometric range")
+    points = []
+    value = lo
+    while value <= hi:
+        points.append(value)
+        value *= factor
+    if points[-1] != hi and hi > points[-1]:
+        points.append(hi)
+    return points

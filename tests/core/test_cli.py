@@ -1,0 +1,62 @@
+"""The rocketrig command-line driver."""
+
+import numpy as np
+import pytest
+
+from repro.cli.rocketrig import build_parser, run_from_args
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.nodes == 64
+        assert args.order == "low"
+        assert args.ranks == 1
+
+    def test_paper_style_invocation(self):
+        args = build_parser().parse_args(
+            ["--nodes", "32", "--order", "high", "--br-solver", "cutoff",
+             "--cutoff", "0.8", "--free-boundaries", "--ic", "single_mode",
+             "--magnitude", "0.12", "--steps", "30", "--ranks", "4"]
+        )
+        assert args.free_boundaries
+        assert args.br_solver == "cutoff"
+        assert args.cutoff == 0.8
+
+    def test_fft_config_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--fft-config", "9"])
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--order", "ultra"])
+
+
+class TestRun:
+    def test_low_order_run(self, capsys):
+        args = build_parser().parse_args(
+            ["--nodes", "16", "--steps", "2", "--ranks", "2", "--trace"]
+        )
+        diag = run_from_args(args)
+        assert diag["steps"] == 2
+        assert np.isfinite(diag["amplitude"])
+        out = capsys.readouterr().out
+        assert "modeled total" in out
+
+    def test_high_order_cutoff_run(self, tmp_path):
+        args = build_parser().parse_args(
+            ["--nodes", "12", "--order", "high", "--br-solver", "cutoff",
+             "--cutoff", "1.0", "--free-boundaries", "--ic", "single_mode",
+             "--steps", "1", "--ranks", "2", "--dt", "0.005",
+             "--outdir", str(tmp_path)]
+        )
+        diag = run_from_args(args)
+        assert diag["steps"] == 1
+        assert list(tmp_path.glob("*.vtk"))
+
+    def test_flat_ic_stays_flat(self):
+        args = build_parser().parse_args(
+            ["--nodes", "12", "--ic", "flat", "--steps", "2"]
+        )
+        diag = run_from_args(args)
+        assert diag["amplitude"] == 0.0

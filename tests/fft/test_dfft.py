@@ -1,0 +1,217 @@
+"""Distributed FFT: correctness across all 8 heFFTe-style configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import mpi
+from repro.fft import ALL_CONFIGS, DistributedFFT2D, FftConfig
+from repro.fft.layouts import (
+    brick_layout,
+    cols_pencil_layout,
+    cols_slab_layout,
+    rows_pencil_layout,
+    rows_slab_layout,
+)
+from tests.conftest import spmd
+
+
+def _distributed_fft(nranks, shape, cfg, field):
+    ref = np.fft.fft2(field)
+
+    def program(comm):
+        cart = mpi.create_cart(comm, ndims=2)
+        fft = DistributedFFT2D(cart, shape, cfg)
+        box = fft.brick_box
+        spec = fft.forward(field[box.slices()])
+        ok_fwd = np.allclose(spec, ref[box.slices()], atol=1e-9 * np.abs(ref).max())
+        back = fft.backward(spec)
+        ok_inv = np.allclose(back.real, field[box.slices()], atol=1e-9)
+        return ok_fwd and ok_inv
+
+    return all(spmd(nranks, program))
+
+
+class TestAllConfigs:
+    @pytest.mark.parametrize("cfg", ALL_CONFIGS, ids=lambda c: f"cfg{c.index}")
+    @pytest.mark.parametrize("nranks", [1, 4, 6])
+    def test_forward_inverse_matches_numpy(self, cfg, nranks, rng):
+        field = rng.normal(size=(16, 12))
+        assert _distributed_fft(nranks, (16, 12), cfg, field)
+
+    def test_complex_input(self, rng):
+        field = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        ref = np.fft.fft2(field)
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2)
+            fft = DistributedFFT2D(cart, (8, 8))
+            box = fft.brick_box
+            return np.allclose(fft.forward(field[box.slices()]), ref[box.slices()])
+
+        assert all(spmd(4, program))
+
+    @pytest.mark.parametrize("shape", [(8, 8), (12, 20), (9, 15), (32, 8)])
+    def test_odd_shapes(self, shape, rng):
+        field = rng.normal(size=shape)
+        assert _distributed_fft(4, shape, FftConfig(), field)
+
+
+class TestFftProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31), cfg_idx=st.integers(0, 7))
+    def test_linearity(self, seed, cfg_idx):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(8, 8))
+        b = rng.normal(size=(8, 8))
+        cfg = FftConfig.from_index(cfg_idx)
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2)
+            fft = DistributedFFT2D(cart, (8, 8), cfg)
+            box = fft.brick_box
+            fa = fft.forward(a[box.slices()])
+            fb = fft.forward(b[box.slices()])
+            fab = fft.forward((2.0 * a + 3.0 * b)[box.slices()])
+            return np.allclose(fab, 2.0 * fa + 3.0 * fb, atol=1e-8)
+
+        assert all(spmd(2, program))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_parseval(self, seed):
+        rng = np.random.default_rng(seed)
+        field = rng.normal(size=(16, 16))
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2)
+            fft = DistributedFFT2D(cart, (16, 16))
+            box = fft.brick_box
+            spec = fft.forward(field[box.slices()])
+            local_spec = float(np.sum(np.abs(spec) ** 2))
+            local_phys = float(np.sum(field[box.slices()] ** 2))
+            total_spec = comm.allreduce(local_spec)
+            total_phys = comm.allreduce(local_phys)
+            return np.isclose(total_spec, total_phys * 16 * 16, rtol=1e-10)
+
+        assert all(spmd(4, program))
+
+
+class TestLayouts:
+    @pytest.mark.parametrize(
+        "layout_fn",
+        [
+            brick_layout,
+            rows_slab_layout,
+            cols_slab_layout,
+            rows_pencil_layout,
+            cols_pencil_layout,
+        ],
+    )
+    @pytest.mark.parametrize("dims", [(1, 1), (2, 2), (3, 2), (2, 5)])
+    def test_layouts_tile_exactly(self, layout_fn, dims):
+        shape = (20, 24)
+        boxes = layout_fn(shape, dims)
+        assert len(boxes) == dims[0] * dims[1]
+        assert sum(b.size for b in boxes) == shape[0] * shape[1]
+        # No overlap: pairwise intersections empty.
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                inter = boxes[i].intersect(boxes[j])
+                assert inter is None or inter.empty
+
+    def test_rows_layouts_own_complete_rows(self):
+        for fn in (rows_slab_layout, rows_pencil_layout):
+            for box in fn((16, 16), (2, 2)):
+                assert box.mins[1] == 0 and box.maxs[1] == 16
+
+    def test_pencil_locality(self):
+        """Pencil brick→rows hops stay within the row sub-communicator."""
+
+        def program(comm):
+            cart = mpi.create_cart(comm, dims=(3, 3), periods=(True, True))
+            pencil = DistributedFFT2D(cart, (18, 18), FftConfig(pencils=True))
+            counts = pencil.remap_partner_counts()
+            # brick→rows touches only the 2 peers sharing my block-row.
+            return counts["to_rows"]
+
+        results = spmd(9, program)
+        assert all(c <= 2 for c in results)
+
+
+class TestTraceStructure:
+    def test_alltoall_mode_records_collectives(self):
+        trace = mpi.CommTrace()
+        field = np.random.default_rng(0).normal(size=(8, 8))
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2)
+            fft = DistributedFFT2D(cart, (8, 8), FftConfig(alltoall=True))
+            fft.forward(field[fft.brick_box.slices()])
+
+        spmd(4, program, trace=trace)
+        assert trace.message_count(kind="alltoallv") > 0
+        assert trace.message_count(kind="send") == 0
+
+    def test_p2p_mode_records_sends(self):
+        trace = mpi.CommTrace()
+        field = np.random.default_rng(0).normal(size=(8, 8))
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2)
+            fft = DistributedFFT2D(cart, (8, 8), FftConfig(alltoall=False))
+            fft.forward(field[fft.brick_box.slices()])
+
+        spmd(4, program, trace=trace)
+        assert trace.message_count(kind="alltoallv") == 0
+        assert trace.message_count(kind="send") > 0
+
+    def test_reorder_false_sends_more_messages(self):
+        field = np.random.default_rng(0).normal(size=(16, 16))
+
+        def run(reorder):
+            trace = mpi.CommTrace()
+
+            def program(comm):
+                cart = mpi.create_cart(comm, ndims=2)
+                fft = DistributedFFT2D(
+                    cart, (16, 16), FftConfig(alltoall=False, reorder=reorder)
+                )
+                fft.forward(field[fft.brick_box.slices()])
+
+            spmd(4, program, trace=trace)
+            return trace.message_count(kind="send"), trace.total_bytes(kind="send")
+
+        msgs_packed, bytes_packed = run(True)
+        msgs_rows, bytes_rows = run(False)
+        assert msgs_rows > msgs_packed
+        assert bytes_rows == bytes_packed  # same wire volume
+
+
+class TestConfig:
+    def test_table1_numbering(self):
+        assert FftConfig(False, False, False).index == 0
+        assert FftConfig(False, False, True).index == 1
+        assert FftConfig(False, True, False).index == 2
+        assert FftConfig(True, False, False).index == 4
+        assert FftConfig(True, True, True).index == 7
+
+    def test_roundtrip(self):
+        for i in range(8):
+            assert FftConfig.from_index(i).index == i
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            FftConfig.from_index(8)
+
+    def test_wavenumbers_slicing(self):
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2)
+            fft = DistributedFFT2D(cart, (8, 8))
+            kx, ky = fft.brick_wavenumbers((2 * np.pi, 2 * np.pi))
+            assert kx.shape == fft.brick_box.shape
+            return float(kx.max())
+
+        results = spmd(4, program)
+        assert max(results) == pytest.approx(3.0)

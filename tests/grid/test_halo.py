@@ -1,0 +1,219 @@
+"""Halo exchange correctness: corners, periodicity, open boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.grid import GlobalMesh2D, HaloExchange, LocalGrid2D, NodeArray
+from repro.util.errors import ConfigurationError
+from tests.conftest import spmd
+
+N = 12
+
+
+def _encode(gi, gj):
+    return gi * 1000.0 + gj
+
+
+def _fill_owned(lg, arr):
+    gi0, gj0 = lg.owned_space.mins
+    ni, nj = lg.owned_shape
+    I, J = np.meshgrid(
+        np.arange(gi0, gi0 + ni), np.arange(gj0, gj0 + nj), indexing="ij"
+    )
+    arr.own[..., 0] = _encode(I, J)
+
+
+class TestPeriodicHalo:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 6, 9])
+    def test_all_ghosts_correct(self, nranks):
+        mesh = GlobalMesh2D.create((0, 0), (1, 1), (N, N), (True, True))
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2, periods=(True, True))
+            lg = LocalGrid2D(mesh, cart, halo_width=2)
+            f = NodeArray(lg, 1)
+            _fill_owned(lg, f)
+            HaloExchange(lg).gather([f.full])
+            li0, lj0 = lg.local_origin
+            full = f.full[..., 0]
+            for li in range(full.shape[0]):
+                for lj in range(full.shape[1]):
+                    gi = (li0 + li) % N
+                    gj = (lj0 + lj) % N
+                    if full[li, lj] != _encode(gi, gj):
+                        return False
+            return True
+
+        assert all(spmd(nranks, program))
+
+    def test_multiple_arrays_one_exchange(self):
+        mesh = GlobalMesh2D.create((0, 0), (1, 1), (N, N), (True, True))
+        trace = mpi.CommTrace()
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2, periods=(True, True))
+            lg = LocalGrid2D(mesh, cart, halo_width=2)
+            a = NodeArray(lg, 3)
+            b = NodeArray(lg, 2)
+            _fill_owned(lg, a)
+            b.own[..., 0] = 5.0
+            HaloExchange(lg).gather([a.full, b.full])
+            return np.all(b.full[..., 0] == 5.0)
+
+        results = spmd(4, program, trace=trace)
+        assert all(results)
+        # 4 packed messages per rank regardless of array count.
+        assert trace.message_count(kind="send") == 4 * 4
+
+
+class TestOpenBoundaryHalo:
+    def test_edge_ghosts_untouched(self):
+        mesh = GlobalMesh2D.create((0, 0), (1, 1), (N, N), (False, False))
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2, periods=(False, False))
+            lg = LocalGrid2D(mesh, cart, halo_width=2)
+            f = NodeArray(lg, 1)
+            f.full.fill(-99.0)
+            _fill_owned(lg, f)
+            HaloExchange(lg).gather([f.full])
+            full = f.full[..., 0]
+            li0, lj0 = lg.local_origin
+            ok = True
+            for li in range(full.shape[0]):
+                for lj in range(full.shape[1]):
+                    gi, gj = li0 + li, lj0 + lj
+                    inside = 0 <= gi < N and 0 <= gj < N
+                    if inside:
+                        ok &= full[li, lj] == _encode(gi, gj)
+                    else:
+                        ok &= full[li, lj] == -99.0  # untouched
+            return ok
+
+        assert all(spmd(4, program))
+
+    def test_mixed_periodicity(self):
+        mesh = GlobalMesh2D.create((0, 0), (1, 1), (N, N), (True, False))
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2, periods=(True, False))
+            lg = LocalGrid2D(mesh, cart, halo_width=2)
+            f = NodeArray(lg, 1)
+            f.full.fill(-99.0)
+            _fill_owned(lg, f)
+            HaloExchange(lg).gather([f.full])
+            full = f.full[..., 0]
+            li0, lj0 = lg.local_origin
+            for li in range(full.shape[0]):
+                for lj in range(full.shape[1]):
+                    gi = (li0 + li) % N
+                    gj = lj0 + lj
+                    if 0 <= gj < N:
+                        if full[li, lj] != _encode(gi, gj):
+                            return False
+                    elif full[li, lj] != -99.0:
+                        return False
+            return True
+
+        assert all(spmd(6, program))
+
+
+class TestHaloValidation:
+    def test_wrong_shape_raises(self):
+        mesh = GlobalMesh2D.create((0, 0), (1, 1), (N, N), (True, True))
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2, periods=(True, True))
+            lg = LocalGrid2D(mesh, cart, halo_width=2)
+            with pytest.raises(ConfigurationError):
+                HaloExchange(lg).gather([np.zeros((3, 3))])
+            comm.Barrier()
+            return True
+
+        assert all(spmd(2, program))
+
+    def test_mixed_dtypes_raise(self):
+        mesh = GlobalMesh2D.create((0, 0), (1, 1), (N, N), (True, True))
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2, periods=(True, True))
+            lg = LocalGrid2D(mesh, cart, halo_width=2)
+            a = np.zeros(lg.local_shape)
+            b = np.zeros(lg.local_shape, dtype=np.float32)
+            with pytest.raises(ConfigurationError):
+                HaloExchange(lg).gather([a, b])
+            comm.Barrier()
+            return True
+
+        assert all(spmd(2, program))
+
+    def test_block_thinner_than_halo_raises(self):
+        mesh = GlobalMesh2D.create((0, 0), (1, 1), (4, 4), (True, True))
+
+        def program(comm):
+            cart = mpi.create_cart(comm, dims=(4, 1), periods=(True, True))
+            with pytest.raises(ConfigurationError):
+                LocalGrid2D(mesh, cart, halo_width=2)
+            comm.Barrier()
+            return True
+
+        assert all(spmd(4, program))
+
+
+class TestNodeArray:
+    def test_views_share_memory(self):
+        mesh = GlobalMesh2D.create((0, 0), (1, 1), (N, N), (True, True))
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2)
+            lg = LocalGrid2D(mesh, cart, halo_width=2)
+            arr = NodeArray(lg, 2)
+            arr.own[...] = 3.0
+            h = lg.halo_width
+            return float(arr.full[h, h, 0])
+
+        assert spmd(1, program)[0] == 3.0
+
+    def test_clone_and_axpy(self):
+        mesh = GlobalMesh2D.create((0, 0), (1, 1), (N, N), (True, True))
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2)
+            lg = LocalGrid2D(mesh, cart, halo_width=2)
+            a = NodeArray(lg, 1)
+            a.fill(2.0)
+            b = a.clone()
+            b.axpy(3.0, a)   # b = 2 + 3*2 = 8
+            a.scale(0.5)
+            return float(b.full[0, 0, 0]), float(a.full[0, 0, 0])
+
+        b0, a0 = spmd(1, program)[0]
+        assert b0 == 8.0 and a0 == 1.0
+
+    def test_norms_with_comm(self):
+        mesh = GlobalMesh2D.create((0, 0), (1, 1), (N, N), (True, True))
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2)
+            lg = LocalGrid2D(mesh, cart, halo_width=2)
+            a = NodeArray(lg, 1)
+            a.own[...] = 1.0
+            return a.norm2_own(cart), a.max_abs_own(cart)
+
+        for norm, mx in spmd(4, program):
+            assert norm == pytest.approx(np.sqrt(N * N))
+            assert mx == 1.0
+
+    def test_local_coordinates_extend_past_domain(self):
+        mesh = GlobalMesh2D.create((0, 0), (1, 1), (N, N), (True, True))
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2)
+            lg = LocalGrid2D(mesh, cart, halo_width=2)
+            X, Y = lg.local_coordinates()
+            dx = mesh.spacing(0)
+            assert X[0, 0] == pytest.approx(-2 * dx)
+            return True
+
+        assert spmd(1, program)[0]

@@ -1,0 +1,209 @@
+"""End-to-end integration: distributed == serial, full pipelines, writer."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.core import (
+    InitialCondition,
+    SiloWriter,
+    Solver,
+    SolverConfig,
+    gather_global_state,
+    ownership_stats,
+)
+from repro.io import read_vtk_surface
+from tests.conftest import spmd
+
+
+def _run_and_gather(nranks, cfg, ic, nsteps):
+    def program(comm):
+        solver = Solver(comm, cfg, ic)
+        solver.run(nsteps)
+        z, w = gather_global_state(solver.pm)
+        diag = solver.diagnostics()
+        return z, w, diag
+
+    return spmd(nranks, program, timeout=120.0)[0]
+
+
+class TestDistributedSerialEquivalence:
+    @pytest.mark.parametrize("nranks", [2, 4, 6])
+    def test_low_order(self, nranks):
+        cfg = SolverConfig(
+            num_nodes=(24, 24), low=(-np.pi, -np.pi), high=(np.pi, np.pi),
+            order="low", dt=0.005, mu=0.01,
+        )
+        ic = InitialCondition(kind="multi_mode", magnitude=0.02, period=2)
+        z1, w1, _ = _run_and_gather(1, cfg, ic, 4)
+        zp, wp, _ = _run_and_gather(nranks, cfg, ic, 4)
+        np.testing.assert_allclose(zp, z1, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(wp, w1, rtol=1e-10, atol=1e-12)
+
+    def test_high_order_exact(self):
+        cfg = SolverConfig(
+            num_nodes=(16, 16), low=(-np.pi, -np.pi), high=(np.pi, np.pi),
+            order="high", br_solver="exact", dt=0.005, eps=0.1,
+        )
+        ic = InitialCondition(kind="single_mode", magnitude=0.05)
+        z1, w1, _ = _run_and_gather(1, cfg, ic, 3)
+        zp, wp, _ = _run_and_gather(4, cfg, ic, 3)
+        np.testing.assert_allclose(zp, z1, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(wp, w1, rtol=1e-9, atol=1e-12)
+
+    def test_high_order_cutoff(self):
+        cfg = SolverConfig(
+            num_nodes=(16, 16), low=(-1, -1), high=(1, 1),
+            periodic=(False, False),
+            order="high", br_solver="cutoff", cutoff=0.6, dt=0.004, eps=0.05,
+            spatial_low=(-2, -2, -1), spatial_high=(2, 2, 1),
+        )
+        ic = InitialCondition(kind="single_mode", magnitude=0.08, period=0.5)
+        z1, w1, _ = _run_and_gather(1, cfg, ic, 3)
+        zp, wp, _ = _run_and_gather(4, cfg, ic, 3)
+        np.testing.assert_allclose(zp, z1, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(wp, w1, rtol=1e-9, atol=1e-12)
+
+    def test_medium_order(self):
+        cfg = SolverConfig(
+            num_nodes=(16, 16), low=(-np.pi, -np.pi), high=(np.pi, np.pi),
+            order="medium", br_solver="exact", dt=0.005, eps=0.1,
+        )
+        ic = InitialCondition(kind="multi_mode", magnitude=0.03, period=2)
+        z1, w1, _ = _run_and_gather(1, cfg, ic, 2)
+        zp, wp, _ = _run_and_gather(4, cfg, ic, 2)
+        np.testing.assert_allclose(zp, z1, rtol=1e-9, atol=1e-12)
+
+
+class TestCutoffVsExact:
+    def test_large_cutoff_reproduces_exact(self):
+        """Cutoff covering the whole domain ⇒ identical evolution."""
+        base = dict(
+            num_nodes=(16, 16), low=(-1, -1), high=(1, 1),
+            periodic=(False, False), order="high", dt=0.004, eps=0.05,
+            spatial_low=(-2, -2, -1), spatial_high=(2, 2, 1),
+        )
+        ic = InitialCondition(kind="single_mode", magnitude=0.08, period=0.5)
+        ze, we, _ = _run_and_gather(
+            4, SolverConfig(br_solver="exact", **base), ic, 3
+        )
+        zc, wc, _ = _run_and_gather(
+            4, SolverConfig(br_solver="cutoff", cutoff=10.0, **base), ic, 3
+        )
+        np.testing.assert_allclose(zc, ze, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(wc, we, rtol=1e-9, atol=1e-12)
+
+    def test_small_cutoff_approximates(self):
+        """A small cutoff changes the answer but stays close (paper §3.2)."""
+        base = dict(
+            num_nodes=(16, 16), low=(-1, -1), high=(1, 1),
+            periodic=(False, False), order="high", dt=0.004, eps=0.05,
+            spatial_low=(-2, -2, -1), spatial_high=(2, 2, 1),
+        )
+        ic = InitialCondition(kind="single_mode", magnitude=0.08, period=0.5)
+        ze, _, _ = _run_and_gather(
+            4, SolverConfig(br_solver="exact", **base), ic, 3
+        )
+        zc, _, _ = _run_and_gather(
+            4, SolverConfig(br_solver="cutoff", cutoff=0.5, **base), ic, 3
+        )
+        # Not identical...
+        assert not np.allclose(zc[..., 2], ze[..., 2], rtol=1e-12, atol=0)
+        # ...but close in the max norm relative to the deformation scale.
+        scale = np.abs(ze[..., 2]).max()
+        assert np.abs(zc[..., 2] - ze[..., 2]).max() < 0.2 * scale
+
+
+class TestLoadImbalanceDevelopment:
+    def test_single_mode_rollup_skews_ownership(self):
+        """The Fig. 6/7 mechanism: spatial ownership spread grows in time."""
+        cfg = SolverConfig(
+            num_nodes=(24, 24), low=(-1, -1), high=(1, 1),
+            periodic=(False, False), order="high", br_solver="cutoff",
+            cutoff=0.8, dt=0.01, eps=0.1, atwood=0.5, gravity=20.0,
+            spatial_low=(-1.5, -1.5, -1.5), spatial_high=(1.5, 1.5, 1.5),
+        )
+        ic = InitialCondition(kind="single_mode", magnitude=0.15, period=0.5)
+
+        def program(comm):
+            solver = Solver(comm, cfg, ic)
+            solver.step()
+            early = solver.br_solver.ownership_counts()
+            solver.run(12)
+            late = solver.br_solver.ownership_counts()
+            return early, late
+
+        early, late = spmd(4, program, timeout=180.0)[0]
+        s_early = ownership_stats(early)
+        s_late = ownership_stats(late)
+        assert s_early.total == s_late.total == 24 * 24
+        assert s_late.spread >= s_early.spread
+
+    def test_multimode_stays_balanced(self):
+        cfg = SolverConfig(
+            num_nodes=(24, 24), low=(-np.pi, -np.pi), high=(np.pi, np.pi),
+            order="high", br_solver="cutoff", cutoff=1.5, dt=0.005, eps=0.1,
+            spatial_low=(-4, -4, -2), spatial_high=(4, 4, 2),
+        )
+        ic = InitialCondition(kind="multi_mode", magnitude=0.02, period=3)
+
+        def program(comm):
+            solver = Solver(comm, cfg, ic)
+            solver.run(2)
+            return solver.br_solver.ownership_counts()
+
+        counts = spmd(4, program, timeout=120.0)[0]
+        assert ownership_stats(counts).imbalance < 1.3
+
+
+class TestWriterIntegration:
+    def test_silo_writer_produces_readable_vtk(self, tmp_path):
+        cfg = SolverConfig(num_nodes=(12, 12), order="low", dt=0.005)
+        ic = InitialCondition(kind="multi_mode", magnitude=0.05, period=2)
+
+        def program(comm):
+            solver = Solver(comm, cfg, ic)
+            writer = SiloWriter(tmp_path, "itest")
+            solver.run(4, writer=writer, write_freq=2)
+            return writer.written if comm.rank == 0 else []
+
+        written = spmd(4, program)[0]
+        assert len(written) == 2
+        pos, fields = read_vtk_surface(written[-1])
+        assert pos.shape == (12, 12, 3)
+        assert "vorticity_magnitude" in fields
+        assert np.isfinite(pos).all()
+
+    def test_trace_phases_cover_pipeline(self):
+        trace = mpi.CommTrace()
+        cfg = SolverConfig(
+            num_nodes=(16, 16), low=(-1, -1), high=(1, 1),
+            periodic=(False, False), order="high", br_solver="cutoff",
+            cutoff=0.5, dt=0.004, eps=0.05,
+        )
+        ic = InitialCondition(kind="single_mode", magnitude=0.05, period=0.5)
+
+        def program(comm):
+            Solver(comm, cfg, ic).step()
+
+        spmd(4, program, trace=trace)
+        phases = set(trace.phases())
+        # The five-step cutoff pipeline plus the halo gathers.
+        assert {"halo", "migrate", "spatial_halo", "neighbor", "br_compute"} <= phases
+
+    def test_energy_finite_over_long_run(self):
+        """Nonlinear run stays finite (artificial viscosity regularizes)."""
+        cfg = SolverConfig(
+            num_nodes=(24, 24), low=(-np.pi, -np.pi), high=(np.pi, np.pi),
+            order="low", mu=0.05, dt=0.01,
+        )
+        ic = InitialCondition(kind="multi_mode", magnitude=0.1, period=3)
+
+        def program(comm):
+            solver = Solver(comm, cfg, ic)
+            solver.run(40)
+            return solver.diagnostics()
+
+        diag = spmd(1, program)[0]
+        assert np.isfinite(diag["amplitude"])
+        assert np.isfinite(diag["vorticity_norm"])

@@ -1,0 +1,103 @@
+"""VTK writer/reader round-trips and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    load_checkpoint,
+    read_vtk_surface,
+    save_checkpoint,
+    write_vtk_surface,
+)
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def surface(rng):
+    ni, nj = 6, 5
+    pos = rng.normal(size=(ni, nj, 3))
+    scalar = rng.normal(size=(ni, nj))
+    vector = rng.normal(size=(ni, nj, 2))
+    return pos, scalar, vector
+
+
+class TestVtk:
+    def test_roundtrip_scalar_and_vector(self, tmp_path, surface):
+        pos, scalar, vector = surface
+        path = tmp_path / "out.vtk"
+        write_vtk_surface(path, pos, {"mag": scalar, "vort": vector})
+        rpos, fields = read_vtk_surface(path)
+        np.testing.assert_allclose(rpos, pos, rtol=1e-9)
+        np.testing.assert_allclose(fields["mag"], scalar, rtol=1e-9)
+        np.testing.assert_allclose(fields["vort"][..., :2], vector, rtol=1e-9)
+        np.testing.assert_allclose(fields["vort"][..., 2], 0.0)
+
+    def test_no_fields(self, tmp_path, surface):
+        pos, _, _ = surface
+        path = tmp_path / "plain.vtk"
+        write_vtk_surface(path, pos)
+        rpos, fields = read_vtk_surface(path)
+        np.testing.assert_allclose(rpos, pos)
+        assert fields == {}
+
+    def test_header_wellformed(self, tmp_path, surface):
+        pos, scalar, _ = surface
+        path = tmp_path / "hdr.vtk"
+        write_vtk_surface(path, pos, {"s": scalar}, title="my run")
+        text = path.read_text()
+        assert text.startswith("# vtk DataFile Version 3.0\nmy run\nASCII\n")
+        assert "DATASET STRUCTURED_GRID" in text
+        assert f"POINTS {pos.shape[0] * pos.shape[1]} double" in text
+
+    def test_bad_positions_shape(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_vtk_surface(tmp_path / "x.vtk", np.zeros((4, 4)))
+
+    def test_field_shape_mismatch(self, tmp_path, surface):
+        pos, _, _ = surface
+        with pytest.raises(ConfigurationError):
+            write_vtk_surface(tmp_path / "x.vtk", pos, {"bad": np.zeros((2, 2))})
+
+    def test_too_many_components(self, tmp_path, surface):
+        pos, _, _ = surface
+        with pytest.raises(ConfigurationError):
+            write_vtk_surface(
+                tmp_path / "x.vtk", pos, {"bad": np.zeros(pos.shape[:2] + (4,))}
+            )
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path, surface):
+        pos, _, _ = surface
+        vort = np.random.default_rng(1).normal(size=pos.shape[:2] + (2,))
+        path = save_checkpoint(
+            tmp_path / "ck.npz",
+            positions=pos,
+            vorticity=vort,
+            time=1.25,
+            step=40,
+            metadata={"order": "high", "cutoff": 0.5},
+        )
+        data = load_checkpoint(path)
+        np.testing.assert_array_equal(data["positions"], pos)
+        np.testing.assert_array_equal(data["vorticity"], vort)
+        assert data["time"] == 1.25
+        assert data["step"] == 40
+        assert data["metadata"] == {"order": "high", "cutoff": 0.5}
+
+    def test_empty_metadata(self, tmp_path, surface):
+        pos, _, _ = surface
+        path = save_checkpoint(
+            tmp_path / "ck2.npz",
+            positions=pos,
+            vorticity=np.zeros(pos.shape[:2] + (2,)),
+            time=0.0,
+            step=0,
+        )
+        assert load_checkpoint(path)["metadata"] == {}
+
+    def test_missing_arrays_detected(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, positions=np.zeros((2, 2, 3)))
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(bad)

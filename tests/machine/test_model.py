@@ -1,0 +1,274 @@
+"""Machine model: cost monotonicity, algorithm crossovers, replay."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import mpi
+from repro.fft import FftConfig
+from repro.machine import (
+    LASSEN,
+    MachineSpec,
+    allreduce_time,
+    alltoallv_time,
+    barrier_time,
+    bcast_time,
+    collective_time,
+    cutoff_evaluation,
+    exact_evaluation,
+    low_order_evaluation,
+    replay_trace,
+    step_time,
+)
+from tests.conftest import spmd
+
+
+class TestMachineSpec:
+    def test_node_topology(self):
+        assert LASSEN.node_of(0) == LASSEN.node_of(3)
+        assert LASSEN.node_of(4) == 1
+        assert LASSEN.nodes_for(1024) == 256
+
+    def test_taper_monotonic(self):
+        tapers = [LASSEN.taper_factor(p) for p in (4, 16, 64, 256, 1024)]
+        assert tapers == sorted(tapers)
+        assert tapers[0] == 1.0
+
+    def test_p2p_monotonic_in_size(self):
+        times = [
+            LASSEN.p2p_time(n, same_node=False, nranks=64)
+            for n in (0, 100, 10_000, 1_000_000)
+        ]
+        assert times == sorted(times)
+
+    def test_intra_faster_than_inter(self):
+        assert LASSEN.p2p_time(10_000, same_node=True) < LASSEN.p2p_time(
+            10_000, same_node=False, nranks=64
+        )
+
+    def test_rendezvous_kink(self):
+        below = LASSEN.p2p_time(LASSEN.eager_threshold, same_node=True)
+        above = LASSEN.p2p_time(LASSEN.eager_threshold + 1, same_node=True)
+        assert above - below > LASSEN.rendezvous_latency * 0.9
+
+    def test_compute_roofline_regimes(self):
+        # Compute-bound vs memory-bound selection.
+        flops_heavy = LASSEN.compute_time(1e12, 1e6)
+        mem_heavy = LASSEN.compute_time(1e6, 1e12)
+        assert flops_heavy == pytest.approx(
+            LASSEN.kernel_launch + 1e12 / LASSEN.flops
+        )
+        assert mem_heavy == pytest.approx(
+            LASSEN.kernel_launch + 1e12 / LASSEN.mem_bw
+        )
+
+    def test_utilization_ramp(self):
+        full = LASSEN.compute_time(1e9, 0.0, parallelism=1e9)
+        starved = LASSEN.compute_time(1e9, 0.0, parallelism=100.0)
+        assert starved > 10 * full
+
+    def test_strided_slower(self):
+        assert LASSEN.compute_time(0, 1e9, strided=True) > LASSEN.compute_time(
+            0, 1e9
+        )
+
+    def test_invalid_spec_rejected(self):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            MachineSpec(bandwidth_inter=0.0)
+
+
+class TestCollectiveModels:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        p=st.sampled_from([2, 4, 16, 64, 256]),
+        nbytes=st.integers(8, 10**7),
+    )
+    def test_all_costs_positive(self, p, nbytes):
+        for kind in ("allreduce", "bcast", "gather", "allgather", "barrier"):
+            assert collective_time(kind, p, nbytes, LASSEN) > 0.0
+
+    def test_single_rank_free(self):
+        for kind in ("allreduce", "bcast", "barrier", "alltoallv"):
+            assert collective_time(kind, 1, 1000, LASSEN) == 0.0
+
+    def test_allreduce_scales_log(self):
+        t64 = allreduce_time(64, 8, LASSEN)
+        t1024 = allreduce_time(1024, 8, LASSEN)
+        assert t1024 < 3.0 * t64  # log-ish growth, not linear
+
+    def test_alltoall_builtin_beats_custom_at_scale(self):
+        counts = [1024] * 1024
+        builtin = alltoallv_time(1024, counts, LASSEN, builtin=True)
+        custom = alltoallv_time(1024, counts, LASSEN, builtin=False)
+        assert builtin < custom
+
+    def test_alltoall_custom_wins_small(self):
+        """On one node (no contention) custom avoids the setup cost."""
+        counts = [100_000] * 4
+        builtin = alltoallv_time(4, counts, LASSEN, builtin=True)
+        custom = alltoallv_time(4, counts, LASSEN, builtin=False)
+        assert custom < builtin
+
+    def test_barrier_grows_with_p(self):
+        times = [barrier_time(p, LASSEN) for p in (2, 8, 64, 512)]
+        assert times == sorted(times)
+
+    def test_bcast_volume_term(self):
+        small = bcast_time(16, 100, LASSEN)
+        large = bcast_time(16, 10**7, LASSEN)
+        assert large > 10 * small
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            collective_time("scan", 4, 8, LASSEN)
+
+
+class TestPatterns:
+    def test_low_order_weak_scaling_monotonic(self):
+        cfg = FftConfig(alltoall=False, pencils=True, reorder=True)
+        times = []
+        for p in (4, 16, 64, 256, 1024):
+            n = int(4864 * math.sqrt(p / 4))
+            times.append(step_time(low_order_evaluation(p, (n, n), LASSEN, cfg)))
+        assert times == sorted(times)  # paper Fig. 3: runtime grows
+
+    def test_low_order_strong_scaling_turnover(self):
+        cfg = FftConfig(alltoall=False, pencils=True, reorder=True)
+        times = {
+            p: step_time(low_order_evaluation(p, (4864, 4864), LASSEN, cfg))
+            for p in (4, 64, 256, 1024)
+        }
+        speedup64 = times[4] / times[64]
+        assert 2.0 < speedup64 < 6.0          # paper: 3.5×
+        assert times[1024] > times[256]       # paper: turnover at scale
+
+    def test_fig9_crossover(self):
+        """AllToAll=True loses on one node, wins at 1024 ranks (paper §5.5)."""
+        n4 = (4864, 4864)
+        custom = FftConfig(alltoall=False, pencils=True, reorder=True)
+        builtin = FftConfig(alltoall=True, pencils=True, reorder=True)
+        t_custom_4 = step_time(low_order_evaluation(4, n4, LASSEN, custom))
+        t_builtin_4 = step_time(low_order_evaluation(4, n4, LASSEN, builtin))
+        assert t_custom_4 <= t_builtin_4
+        n1024 = (77824, 77824)
+        t_custom_1k = step_time(low_order_evaluation(1024, n1024, LASSEN, custom))
+        t_builtin_1k = step_time(low_order_evaluation(1024, n1024, LASSEN, builtin))
+        assert t_builtin_1k < t_custom_1k
+
+    def test_cutoff_weak_scaling_modest_growth(self):
+        """Paper Fig. 5: ≤ ~20 % runtime growth 4 → 1024 GPUs."""
+        times = []
+        for p in (4, 64, 1024):
+            n = int(768 * math.sqrt(p))
+            ext = 6.0 * math.sqrt(p / 4)
+            times.append(
+                step_time(
+                    cutoff_evaluation(
+                        p, (n, n), LASSEN, cutoff=0.2, domain_extent=(ext, ext)
+                    )
+                )
+            )
+        growth = times[-1] / times[0]
+        assert 1.0 < growth < 1.35
+
+    def test_cutoff_strong_scaling_turnover(self):
+        """Paper Fig. 8: sublinear speedup to ~64-128, then flat/worse."""
+
+        def imb(p):
+            return 1.0 + 0.66 * (1 - 4.0 / p) if p > 4 else 1.0
+
+        times = {
+            p: step_time(
+                cutoff_evaluation(
+                    p, (512, 512), LASSEN, cutoff=0.5,
+                    domain_extent=(6.0, 6.0), imbalance=imb(p),
+                )
+            )
+            for p in (4, 64, 128, 256)
+        }
+        speedup64 = times[4] / times[64]
+        assert 1.5 < speedup64 < 5.0          # paper: 3.3× (21 % efficiency)
+        assert times[256] > 0.8 * times[128]  # flat-to-worse beyond
+
+    def test_exact_evaluation_compute_dominated(self):
+        model = exact_evaluation(16, (512, 512), LASSEN)
+        assert model.compute_total() > model.comm_total()
+
+    def test_imbalance_increases_cost(self):
+        base = step_time(
+            cutoff_evaluation(64, (512, 512), LASSEN, cutoff=0.5,
+                              domain_extent=(6.0, 6.0), imbalance=1.0)
+        )
+        skewed = step_time(
+            cutoff_evaluation(64, (512, 512), LASSEN, cutoff=0.5,
+                              domain_extent=(6.0, 6.0), imbalance=1.66)
+        )
+        assert skewed > 1.5 * base
+
+
+class TestReplay:
+    def test_replay_functional_fft_trace(self):
+        """Replaying a functional 4-rank trace gives positive phase times."""
+        trace = mpi.CommTrace()
+        field = np.random.default_rng(0).normal(size=(16, 16))
+
+        def program(comm):
+            from repro.fft import DistributedFFT2D
+
+            cart = mpi.create_cart(comm, ndims=2)
+            fft = DistributedFFT2D(cart, (16, 16))
+            with trace.phase("fft"):
+                fft.forward(field[fft.brick_box.slices()])
+
+        spmd(4, program, trace=trace)
+        result = replay_trace(trace, LASSEN)
+        assert result.phase_time("fft") > 0.0
+        assert result.total >= result.phase_time("fft")
+
+    def test_replay_p2p_vs_collective_consistency(self):
+        """Same remap in both comm modes: replay costs within one order."""
+        field = np.random.default_rng(0).normal(size=(16, 16))
+
+        def run(alltoall):
+            trace = mpi.CommTrace()
+
+            def program(comm):
+                from repro.fft import DistributedFFT2D
+
+                cart = mpi.create_cart(comm, ndims=2)
+                fft = DistributedFFT2D(
+                    cart, (16, 16), FftConfig(alltoall=alltoall)
+                )
+                with trace.phase("fft"):
+                    fft.forward(field[fft.brick_box.slices()])
+
+            spmd(4, program, trace=trace)
+            return replay_trace(trace, LASSEN).phase_time("fft")
+
+        t_coll, t_p2p = run(True), run(False)
+        assert 0.05 < t_coll / t_p2p < 20.0
+
+    def test_replay_deterministic(self):
+        trace = mpi.CommTrace()
+
+        def program(comm):
+            comm.allreduce(1.0)
+            comm.Barrier()
+
+        spmd(4, program, trace=trace)
+        a = replay_trace(trace, LASSEN).total
+        b = replay_trace(trace, LASSEN).total
+        assert a == b
+
+    def test_phase_breakdown(self):
+        trace = mpi.CommTrace()
+        trace.record_comm("barrier", 0, None, 0, comm_size=4)
+        trace.record_compute("k", 0, flops=1e9, bytes_moved=1e6, items=10**6)
+        result = replay_trace(trace, LASSEN, nranks=4)
+        comm, compute = result.phase_breakdown("unphased")
+        assert comm > 0 and compute > 0

@@ -1,0 +1,110 @@
+"""Functional ↔ analytic consistency: the license for extrapolation.
+
+The benchmark harness extrapolates to 1024 ranks with analytic pattern
+generators.  These tests pin the property that makes that honest: at
+small scale, the analytic generators and the functional implementation
+produce the *same message sizes*, because they share the layout /
+partitioning code (DESIGN.md §1).
+"""
+
+import numpy as np
+
+from repro import mpi
+from repro.fft import DistributedFFT2D, FftConfig
+from repro.fft.layouts import brick_layout, layout_for_stage
+from repro.machine import LASSEN, cutoff_evaluation, low_order_evaluation
+from repro.util.misc import dims_create
+from tests.conftest import spmd
+
+
+class TestFftSizingConsistency:
+    def test_traced_alltoallv_counts_match_layout_intersections(self):
+        """Functional remap counts == the counts the model computes."""
+        shape = (24, 24)
+        nranks = 4
+        trace = mpi.CommTrace()
+        field = np.random.default_rng(0).normal(size=shape)
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2)
+            fft = DistributedFFT2D(cart, shape, FftConfig(alltoall=True))
+            fft.forward(field[fft.brick_box.slices()])
+
+        spmd(nranks, program, trace=trace)
+
+        # First recorded alltoallv at rank 0 is the brick→rows hop.
+        first = [
+            ev for ev in trace.filter(kind="alltoallv", rank=0)
+        ][0]
+        dims = dims_create(nranks, 2)
+        bricks = layout_for_stage("brick", shape, dims, pencils=True)
+        rows = layout_for_stage("rows", shape, dims, pencils=True)
+        expected = []
+        for dst in range(nranks):
+            inter = bricks[0].intersect(rows[dst])
+            expected.append(0 if inter is None else inter.size * 16)
+        assert list(first.counts) == expected
+
+    def test_model_total_volume_matches_functional(self):
+        """Total FFT wire bytes: functional trace vs analytic layouts."""
+        shape = (16, 16)
+        nranks = 4
+        trace = mpi.CommTrace()
+        field = np.random.default_rng(1).normal(size=shape)
+
+        def program(comm):
+            cart = mpi.create_cart(comm, ndims=2)
+            fft = DistributedFFT2D(cart, shape, FftConfig(alltoall=False))
+            with trace.phase("fft"):
+                fft.forward(field[fft.brick_box.slices()])
+
+        spmd(nranks, program, trace=trace)
+        functional_bytes = trace.total_bytes(kind="send", phase="fft")
+
+        dims = dims_create(nranks, 2)
+        stages = [("brick", "rows"), ("rows", "cols"), ("cols", "brick")]
+        modeled_bytes = 0
+        for src_stage, dst_stage in stages:
+            src = layout_for_stage(src_stage, shape, dims, pencils=True)
+            dst = layout_for_stage(dst_stage, shape, dims, pencils=True)
+            for rank in range(nranks):
+                for peer in range(nranks):
+                    if peer == rank:
+                        continue  # functional p2p short-circuits self
+                    inter = src[rank].intersect(dst[peer])
+                    if inter is not None:
+                        modeled_bytes += inter.size * 16
+        assert functional_bytes == modeled_bytes
+
+
+class TestEvaluationModelStructure:
+    def test_low_order_phases(self):
+        model = low_order_evaluation(16, (256, 256), LASSEN)
+        assert set(model.phases) == {"halo", "fft", "stencil"}
+        assert model.phases["fft"].comm > 0
+        assert model.phases["fft"].compute > 0
+        assert model.phases["halo"].comm > 0
+        assert model.phases["stencil"].compute > 0
+
+    def test_cutoff_phases(self):
+        model = cutoff_evaluation(
+            16, (256, 256), LASSEN, cutoff=0.5, domain_extent=(6.0, 6.0)
+        )
+        assert {"halo", "migrate", "spatial_halo", "neighbor",
+                "br_compute", "stencil"} <= set(model.phases)
+
+    def test_totals_are_sums(self):
+        model = low_order_evaluation(16, (256, 256), LASSEN)
+        assert model.total == (
+            __import__("pytest").approx(model.comm_total() + model.compute_total())
+        )
+
+    def test_brick_layout_matches_partitioner(self):
+        """The FFT brick layout equals the grid partitioner's blocks."""
+        from repro.grid.partition import BlockPartitioner2D
+
+        shape = (40, 28)
+        dims = (3, 2)
+        bricks = brick_layout(shape, dims)
+        part = BlockPartitioner2D(shape, dims)
+        assert bricks == part.all_spaces()

@@ -1,0 +1,106 @@
+"""Cartesian communicators: coords, shifts, sub-communicators."""
+
+import pytest
+
+from repro import mpi
+from repro.mpi.world import PROC_NULL
+from repro.util.errors import ConfigurationError
+from repro.util.misc import dims_create
+from tests.conftest import spmd
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, (1, 1)), (2, (2, 1)), (4, (2, 2)), (6, (3, 2)), (12, (4, 3)),
+         (36, (6, 6)), (64, (8, 8)), (1024, (32, 32)), (7, (7, 1))],
+    )
+    def test_2d(self, n, expected):
+        assert dims_create(n, 2) == expected
+
+    def test_3d_product(self):
+        for n in (8, 12, 30, 64):
+            dims = dims_create(n, 3)
+            assert dims[0] * dims[1] * dims[2] == n
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            dims_create(0, 2)
+
+
+class TestCartTopology:
+    def test_coords_roundtrip(self):
+        def program(comm):
+            cart = mpi.create_cart(comm, dims=(3, 2), periods=(True, False))
+            coords = cart.coords
+            assert cart.rank_of(coords) == cart.rank
+            return coords
+
+        results = spmd(6, program)
+        assert sorted(results) == [(i, j) for i in range(3) for j in range(2)]
+
+    def test_shift_periodic_wraps(self):
+        def program(comm):
+            cart = mpi.create_cart(comm, dims=(4, 1), periods=(True, True))
+            src, dst = cart.Shift(0, 1)
+            return src, dst
+
+        results = spmd(4, program)
+        for r, (src, dst) in enumerate(results):
+            assert src == (r - 1) % 4
+            assert dst == (r + 1) % 4
+
+    def test_shift_open_boundary_proc_null(self):
+        def program(comm):
+            cart = mpi.create_cart(comm, dims=(4, 1), periods=(False, False))
+            return cart.Shift(0, 1)
+
+        results = spmd(4, program)
+        assert results[0][0] == PROC_NULL
+        assert results[3][1] == PROC_NULL
+        assert results[1] == (0, 2)
+
+    def test_neighbor_diagonal(self):
+        def program(comm):
+            cart = mpi.create_cart(comm, dims=(2, 2), periods=(True, True))
+            return cart.neighbor((1, 1))
+
+        results = spmd(4, program)
+        # (0,0) -> (1,1) which is rank 3; etc.
+        assert results[0] == 3
+        assert results[3] == 0
+
+    def test_sub_communicators(self):
+        def program(comm):
+            cart = mpi.create_cart(comm, dims=(2, 3), periods=(True, True))
+            row = cart.sub(1)   # vary along dim 1: my process row
+            col = cart.sub(0)
+            return row.size, col.size, row.allgather(cart.coords)
+
+        results = spmd(6, program)
+        for row_size, col_size, members in results:
+            assert row_size == 3
+            assert col_size == 2
+            assert len({m[0] for m in members}) == 1  # same row
+
+    def test_dims_mismatch_raises(self):
+        def program(comm):
+            with pytest.raises(ConfigurationError):
+                mpi.create_cart(comm, dims=(3, 3))
+            comm.Barrier()
+            return True
+
+        assert all(spmd(4, program))
+
+    def test_communication_through_cart(self):
+        """Shift-based ring over the Cartesian communicator."""
+        import numpy as np
+
+        def program(comm):
+            cart = mpi.create_cart(comm, dims=(comm.size, 1), periods=(True, True))
+            src, dst = cart.Shift(0, 1)
+            got = cart.Sendrecv(np.array([float(cart.rank)]), dst, 1, None, src, 1)
+            return float(got[0])
+
+        results = spmd(5, program)
+        assert results == [4.0, 0.0, 1.0, 2.0, 3.0]

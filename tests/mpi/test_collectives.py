@@ -1,0 +1,314 @@
+"""Collective operations: correctness, determinism, properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import mpi
+from repro.mpi.ops import MAX, MAXLOC, MIN, MINLOC, PROD, SUM
+from tests.conftest import spmd
+
+SIZES = [1, 2, 3, 4, 7]
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+class TestBasicCollectives:
+    def test_barrier(self, nranks):
+        def program(comm):
+            for _ in range(3):
+                comm.Barrier()
+            return True
+
+        assert all(spmd(nranks, program))
+
+    def test_bcast_buffer(self, nranks):
+        def program(comm):
+            buf = (
+                np.arange(6, dtype=np.float64)
+                if comm.rank == 0
+                else np.zeros(6)
+            )
+            comm.Bcast(buf, root=0)
+            return buf
+
+        for out in spmd(nranks, program):
+            assert np.array_equal(out, np.arange(6.0))
+
+    def test_bcast_object_nonzero_root(self, nranks):
+        root = nranks - 1
+
+        def program(comm):
+            obj = {"v": comm.rank} if comm.rank == root else None
+            return comm.bcast(obj, root=root)
+
+        for out in spmd(nranks, program):
+            assert out == {"v": root}
+
+    def test_allreduce_sum(self, nranks):
+        def program(comm):
+            return comm.allreduce(comm.rank + 1)
+
+        expected = sum(range(1, nranks + 1))
+        assert spmd(nranks, program) == [expected] * nranks
+
+    def test_allreduce_buffer_ops(self, nranks):
+        def program(comm):
+            local = np.array([float(comm.rank), float(-comm.rank)])
+            s = comm.Allreduce(local, op=SUM)
+            mx = comm.Allreduce(local, op=MAX)
+            mn = comm.Allreduce(local, op=MIN)
+            return s, mx, mn
+
+        total = sum(range(nranks))
+        for s, mx, mn in spmd(nranks, program):
+            assert np.array_equal(s, [total, -total])
+            assert np.array_equal(mx, [nranks - 1, 0])
+            assert np.array_equal(mn, [0, -(nranks - 1)])
+
+    def test_reduce_to_root(self, nranks):
+        def program(comm):
+            return comm.reduce(2 ** comm.rank, op=SUM, root=0)
+
+        results = spmd(nranks, program)
+        assert results[0] == 2 ** nranks - 1
+        assert all(r is None for r in results[1:])
+
+    def test_gather_and_allgather(self, nranks):
+        def program(comm):
+            g = comm.gather(comm.rank * 10, root=0)
+            ag = comm.allgather(comm.rank)
+            return g, ag
+
+        results = spmd(nranks, program)
+        assert results[0][0] == [r * 10 for r in range(nranks)]
+        for _, ag in results:
+            assert ag == list(range(nranks))
+
+    def test_gather_buffer(self, nranks):
+        def program(comm):
+            out = comm.Gather(np.full(3, float(comm.rank)), root=0)
+            return out
+
+        results = spmd(nranks, program)
+        assert results[0].shape == (nranks, 3)
+        for r in range(nranks):
+            assert np.all(results[0][r] == r)
+
+    def test_scatter(self, nranks):
+        def program(comm):
+            objs = [f"item{r}" for r in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        assert spmd(nranks, program) == [f"item{r}" for r in range(nranks)]
+
+    def test_scatter_buffer(self, nranks):
+        def program(comm):
+            send = None
+            if comm.rank == 0:
+                send = np.arange(comm.size * 2, dtype=np.float64).reshape(comm.size, 2)
+            return comm.Scatter(send, root=0)
+
+        results = spmd(nranks, program)
+        for r, out in enumerate(results):
+            assert np.array_equal(out, [2 * r, 2 * r + 1])
+
+    def test_alltoall(self, nranks):
+        def program(comm):
+            send = np.array(
+                [100 * comm.rank + d for d in range(comm.size)], dtype=np.int64
+            )
+            return comm.Alltoall(send)
+
+        results = spmd(nranks, program)
+        for r, out in enumerate(results):
+            assert list(out) == [100 * s + r for s in range(nranks)]
+
+    def test_allgatherv_variable_sizes(self, nranks):
+        def program(comm):
+            local = np.full(comm.rank + 1, float(comm.rank))
+            return comm.Allgatherv(local)
+
+        for parts in spmd(nranks, program):
+            for r, arr in enumerate(parts):
+                assert arr.size == r + 1 and np.all(arr == r)
+
+
+class TestAlltoallv:
+    @pytest.mark.parametrize("nranks", [2, 3, 5])
+    def test_roundtrip_identity(self, nranks):
+        """alltoallv twice with mirrored counts returns each segment home."""
+
+        def program(comm):
+            counts = [comm.rank + d + 1 for d in range(comm.size)]
+            send = np.concatenate(
+                [np.full(c, 10 * comm.rank + d) for d, c in enumerate(counts)]
+            )
+            recv_counts = [s + comm.rank + 1 for s in range(comm.size)]
+            out = comm.Alltoallv(send, counts, recvcounts=recv_counts)
+            # Segment from src s has value 10*s + my rank
+            offset = 0
+            for s, c in enumerate(recv_counts):
+                assert np.all(out[offset: offset + c] == 10 * s + comm.rank)
+                offset += c
+            return True
+
+        assert all(spmd(nranks, program))
+
+    def test_bad_counts_raise(self):
+        from repro.util.errors import CommunicationError
+
+        def program(comm):
+            with pytest.raises(CommunicationError):
+                comm.Alltoallv(np.arange(4.0), [1, 1])  # sums to 2, not 4
+            comm.Barrier()
+            return True
+
+        assert all(spmd(2, program))
+
+    def test_exchange_arrays_shapes(self):
+        def program(comm):
+            per_dest = [
+                np.full((comm.rank + 1, 2), float(d)) if d != comm.rank else None
+                for d in range(comm.size)
+            ]
+            got = comm.exchange_arrays(per_dest)
+            for src, arr in enumerate(got):
+                if src == comm.rank:
+                    assert arr.size == 0
+                else:
+                    assert arr.shape == (src + 1, 2)
+                    assert np.all(arr == comm.rank)
+            return True
+
+        assert all(spmd(4, program))
+
+
+class TestDeterminism:
+    def test_reduction_deterministic_across_runs(self):
+        """Rank-ordered reduction gives bit-identical results run to run."""
+
+        def program(comm):
+            rng = np.random.default_rng(comm.rank)
+            return comm.allreduce(rng.normal(size=16).astype(np.float64).sum())
+
+        a = spmd(5, program)
+        b = spmd(5, program)
+        assert a == b
+
+    def test_maxloc_minloc(self):
+        def program(comm):
+            value = float((comm.rank * 7) % 5)
+            mx = comm.allreduce((value, comm.rank), op=MAXLOC)
+            mn = comm.allreduce((value, comm.rank), op=MINLOC)
+            return mx, mn
+
+        results = spmd(5, program)
+        values = [float((r * 7) % 5) for r in range(5)]
+        best = max(range(5), key=lambda r: (values[r], -r))
+        worst = min(range(5), key=lambda r: (values[r], r))
+        for mx, mn in results:
+            assert mx[1] == best
+            assert mn[1] == worst
+
+
+class TestCollectiveProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        nranks=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_allreduce_matches_numpy_sum(self, nranks, seed):
+        def program(comm):
+            rng = np.random.default_rng(seed + comm.rank)
+            local = rng.normal(size=8)
+            return comm.Allreduce(local, op=SUM), local
+
+        results = spmd(nranks, program)
+        expected = np.sum([loc for _, loc in results], axis=0)
+        # Deterministic rank order must equal the same-order numpy sum.
+        ordered = results[0][1].copy()
+        for _, loc in results[1:]:
+            ordered = ordered + loc
+        assert np.array_equal(results[0][0], ordered)
+        np.testing.assert_allclose(results[0][0], expected, rtol=1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        nranks=st.integers(min_value=2, max_value=5),
+        data=st.data(),
+    )
+    def test_alltoall_is_transpose(self, nranks, data):
+        matrix = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=-1000, max_value=1000),
+                    min_size=nranks,
+                    max_size=nranks,
+                ),
+                min_size=nranks,
+                max_size=nranks,
+            )
+        )
+
+        def program(comm):
+            send = np.array(matrix[comm.rank], dtype=np.int64)
+            return list(comm.Alltoall(send))
+
+        results = spmd(nranks, program)
+        for r in range(nranks):
+            assert results[r] == [matrix[s][r] for s in range(nranks)]
+
+
+class TestSplitDup:
+    def test_split_even_odd(self):
+        def program(comm):
+            sub = comm.Split(comm.rank % 2, key=comm.rank)
+            return sub.size, sub.rank, sub.allgather(comm.rank)
+
+        results = spmd(6, program)
+        for r, (size, rank, members) in enumerate(results):
+            assert size == 3
+            assert members == [x for x in range(6) if x % 2 == r % 2]
+
+    def test_split_none_color(self):
+        def program(comm):
+            sub = comm.Split(None if comm.rank == 0 else 1, key=comm.rank)
+            if comm.rank == 0:
+                assert sub is None
+                return -1
+            return sub.allreduce(1)
+
+        results = spmd(4, program)
+        assert results == [-1, 3, 3, 3]
+
+    def test_split_key_reorders(self):
+        def program(comm):
+            sub = comm.Split(0, key=-comm.rank)
+            return sub.rank
+
+        results = spmd(4, program)
+        assert results == [3, 2, 1, 0]
+
+    def test_dup_isolated_context(self):
+        def program(comm):
+            dup = comm.Dup()
+            # Message sent on dup is invisible to the parent context.
+            if comm.rank == 0:
+                dup.Send(np.array([1.0]), 1, tag=2)
+            if comm.rank == 1:
+                assert not comm.Iprobe(0, 2)
+                dup.Recv(None, 0, 2)
+            comm.Barrier()
+            return True
+
+        assert all(spmd(2, program))
+
+    def test_nested_split(self):
+        def program(comm):
+            half = comm.Split(comm.rank // 2, key=comm.rank)
+            pair_sum = half.allreduce(comm.rank)
+            return pair_sum
+
+        results = spmd(4, program)
+        assert results == [1, 1, 5, 5]

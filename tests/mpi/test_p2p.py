@@ -1,0 +1,248 @@
+"""Point-to-point semantics of the simulated MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.mpi.world import ANY_SOURCE, ANY_TAG, PROC_NULL
+from repro.util.errors import CommunicationError, DeadlockError
+from tests.conftest import spmd
+
+
+class TestSendRecv:
+    def test_basic_two_ranks(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(10.0), 1, tag=3)
+                return None
+            out = comm.Recv(None, 0, 3)
+            return out
+
+        results = spmd(2, program)
+        assert np.array_equal(results[1], np.arange(10.0))
+
+    def test_recv_into_buffer(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.Send(np.full(4, 7.0), 1)
+                return None
+            buf = np.zeros(4)
+            comm.Recv(buf, 0)
+            return buf
+
+        results = spmd(2, program)
+        assert np.array_equal(results[1], np.full(4, 7.0))
+
+    def test_dtype_mismatch_raises(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(4, dtype=np.float64), 1)
+                return None
+            buf = np.zeros(4, dtype=np.int32)
+            with pytest.raises(CommunicationError):
+                comm.Recv(buf, 0)
+            return True
+
+        assert spmd(2, program)[1]
+
+    def test_too_small_buffer_raises(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(8.0), 1)
+                return None
+            with pytest.raises(CommunicationError):
+                comm.Recv(np.zeros(4), 0)
+            return True
+
+        assert spmd(2, program)[1]
+
+    def test_message_order_preserved_per_source(self):
+        def program(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.Send(np.array([float(i)]), 1, tag=9)
+                return None
+            return [float(comm.Recv(None, 0, 9)[0]) for _ in range(5)]
+
+        assert spmd(2, program)[1] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_tag_selectivity(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.Send(np.array([1.0]), 1, tag=1)
+                comm.Send(np.array([2.0]), 1, tag=2)
+                return None
+            second = comm.Recv(None, 0, 2)
+            first = comm.Recv(None, 0, 1)
+            return (float(first[0]), float(second[0]))
+
+        assert spmd(2, program)[1] == (1.0, 2.0)
+
+    def test_any_source_any_tag(self):
+        def program(comm):
+            if comm.rank != 0:
+                comm.Send(np.array([float(comm.rank)]), 0, tag=comm.rank)
+                return None
+            got = set()
+            status = mpi.Status()
+            for _ in range(comm.size - 1):
+                data = comm.Recv(None, ANY_SOURCE, ANY_TAG, status)
+                assert status.Get_source() == int(data[0])
+                got.add(int(data[0]))
+            return got
+
+        assert spmd(4, program)[0] == {1, 2, 3}
+
+    def test_send_to_proc_null_is_noop(self):
+        def program(comm):
+            comm.Send(np.arange(3.0), PROC_NULL)
+            return True
+
+        assert spmd(1, program)[0]
+
+    def test_send_out_of_range_raises(self):
+        def program(comm):
+            with pytest.raises(CommunicationError):
+                comm.Send(np.arange(3.0), 5)
+            return True
+
+        assert spmd(2, program)[0]
+
+    def test_self_send(self):
+        def program(comm):
+            comm.Send(np.array([42.0]), comm.rank, tag=5)
+            return float(comm.Recv(None, comm.rank, 5)[0])
+
+        assert spmd(3, program) == [42.0] * 3
+
+
+class TestSendrecvAndNonblocking:
+    def test_sendrecv_ring(self):
+        def program(comm):
+            dest = (comm.rank + 1) % comm.size
+            src = (comm.rank - 1) % comm.size
+            out = comm.Sendrecv(np.array([float(comm.rank)]), dest, 11, None, src, 11)
+            return float(out[0])
+
+        results = spmd(5, program)
+        assert results == [4.0, 0.0, 1.0, 2.0, 3.0]
+
+    def test_isend_irecv(self):
+        def program(comm):
+            reqs = []
+            if comm.rank == 0:
+                for dst in range(1, comm.size):
+                    reqs.append(comm.Isend(np.array([float(dst)]), dst))
+                mpi.Request.waitall(reqs)
+                return None
+            req = comm.Irecv(None, 0)
+            data = req.wait()
+            return float(data[0])
+
+        results = spmd(4, program)
+        assert results[1:] == [1.0, 2.0, 3.0]
+
+    def test_irecv_test_polls(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.Barrier()
+                comm.Send(np.array([5.0]), 1)
+                return None
+            req = comm.Irecv(None, 0)
+            assert not req.test()  # nothing sent yet
+            comm.Barrier()
+            req.wait()
+            return True
+
+        assert spmd(2, program)[1]
+
+    def test_probe_preserves_order(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.Send(np.array([1.0]), 1, tag=4)
+                comm.Send(np.array([2.0]), 1, tag=4)
+                return None
+            status = comm.Probe(0, 4)
+            assert status.Get_count(8) == 1
+            first = comm.Recv(None, 0, 4)
+            second = comm.Recv(None, 0, 4)
+            return (float(first[0]), float(second[0]))
+
+        assert spmd(2, program)[1] == (1.0, 2.0)
+
+    def test_iprobe(self):
+        def program(comm):
+            if comm.rank == 0:
+                assert not comm.Iprobe(1, 7)
+                comm.Barrier()
+                comm.Barrier()
+                return None
+            comm.Barrier()
+            comm.send({"x": 1}, 0, tag=7)
+            comm.Barrier()
+            return True
+
+        spmd(2, program)
+
+
+class TestObjectMessaging:
+    def test_object_roundtrip(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send({"a": [1, 2, 3], "b": "text"}, 1)
+                return None
+            return comm.recv(0)
+
+        assert spmd(2, program)[1] == {"a": [1, 2, 3], "b": "text"}
+
+    def test_object_and_buffer_mismatch(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send([1, 2], 1, tag=8)
+                return None
+            with pytest.raises(CommunicationError):
+                comm.Recv(None, 0, 8)
+            return True
+
+        assert spmd(2, program)[1]
+
+    def test_value_semantics(self):
+        """Mutating a sent object after send must not affect the receiver."""
+
+        def program(comm):
+            if comm.rank == 0:
+                payload = {"k": [1]}
+                comm.send(payload, 1)
+                payload["k"].append(2)
+                return None
+            return comm.recv(0)
+
+        assert spmd(2, program)[1] == {"k": [1]}
+
+
+class TestFailureHandling:
+    def test_deadlock_detected(self):
+        def program(comm):
+            comm.Recv(None, 0, 99)  # nobody sends
+
+        with pytest.raises(DeadlockError):
+            spmd(2, program, timeout=0.5)
+
+    def test_exception_propagates(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise RuntimeError("rank 1 died")
+            comm.Barrier()
+
+        with pytest.raises(RuntimeError, match="rank 1 died"):
+            spmd(3, program, timeout=5.0)
+
+    def test_mismatched_collectives_raise(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.Barrier()
+            else:
+                comm.allreduce(1)
+
+        with pytest.raises((CommunicationError, DeadlockError)):
+            spmd(2, program, timeout=5.0)

@@ -1,0 +1,186 @@
+"""Spatial mesh ownership, migration round-trips, cutoff halos."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import mpi
+from repro.spatial import (
+    ParticleMigrator,
+    SpatialMesh,
+    halo_exchange,
+)
+from repro.util.errors import CommunicationError, ConfigurationError
+from tests.conftest import spmd
+
+MESH = SpatialMesh((-3, -3, -3), (3, 3, 3), (2, 2))
+
+
+class TestSpatialMesh:
+    def test_owner_row_major(self):
+        mesh = SpatialMesh((0, 0, 0), (4, 4, 1), (2, 2))
+        owners = mesh.owner_of(
+            np.array([[0.5, 0.5, 0], [0.5, 3.5, 0], [3.5, 0.5, 0], [3.5, 3.5, 0]])
+        )
+        assert list(owners) == [0, 1, 2, 3]
+
+    def test_outside_clamped(self):
+        owners = MESH.owner_of(np.array([[-100, -100, 0], [100, 100, 0]]))
+        assert list(owners) == [0, 3]
+
+    def test_block_rect_tiles_domain(self):
+        mesh = SpatialMesh((0, 0, 0), (6, 4, 1), (3, 2))
+        area = 0.0
+        for r in range(mesh.nblocks):
+            x0, x1, y0, y1 = mesh.block_rect(r)
+            area += (x1 - x0) * (y1 - y0)
+        assert area == pytest.approx(24.0)
+
+    def test_halo_targets_boundary_point(self):
+        mesh = SpatialMesh((0, 0, 0), (4, 4, 1), (2, 2))
+        # Point near the center corner is within cutoff of all 4 blocks.
+        idx, dest = mesh.halo_targets(np.array([[1.9, 1.9, 0.0]]), 0.5)
+        assert set(dest) == {1, 2, 3}
+
+    def test_halo_targets_interior_point_none(self):
+        mesh = SpatialMesh((0, 0, 0), (4, 4, 1), (2, 2))
+        idx, dest = mesh.halo_targets(np.array([[0.5, 0.5, 0.0]]), 0.2)
+        assert len(idx) == 0
+
+    def test_halo_targets_large_cutoff_reaches_all(self):
+        mesh = SpatialMesh((0, 0, 0), (4, 4, 1), (2, 2))
+        idx, dest = mesh.halo_targets(np.array([[0.5, 0.5, 0.0]]), 10.0)
+        assert set(dest) == {1, 2, 3}
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ConfigurationError):
+            SpatialMesh((0, 0, 0), (0, 1, 1), (1, 1))
+
+
+class TestMigration:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_roundtrip_exact_order(self, seed):
+        def program(comm):
+            rng = np.random.default_rng(seed + comm.rank)
+            n = int(rng.integers(0, 80))
+            pos = rng.uniform(-3.2, 3.2, size=(n, 3))
+            pay = rng.normal(size=(n, 2))
+            mig = ParticleMigrator(comm, MESH)
+            m = mig.migrate(pos, pay)
+            assert np.all(MESH.owner_of(m.positions) == comm.rank) or m.count == 0
+            result = m.payload[:, :1] * 2.0 + m.positions[:, :1]
+            back = mig.migrate_back(m, result)
+            expected = pay[:, :1] * 2.0 + pos[:, :1]
+            return np.allclose(back, expected)
+
+        assert all(spmd(4, program))
+
+    def test_global_multiset_preserved(self):
+        def program(comm):
+            rng = np.random.default_rng(50 + comm.rank)
+            pos = rng.uniform(-3, 3, size=(40, 3))
+            mig = ParticleMigrator(comm, MESH)
+            m = mig.migrate(pos, np.empty((40, 0)))
+            local = comm.allgather(m.positions)
+            sent = comm.allgather(pos)
+            return local, sent
+
+        results = spmd(4, program)
+        received = np.concatenate([p for p in results[0][0]])
+        sent = np.concatenate([p for p in results[0][1]])
+        assert received.shape == sent.shape
+        order_a = np.lexsort(received.T)
+        order_b = np.lexsort(sent.T)
+        assert np.allclose(received[order_a], sent[order_b])
+
+    def test_payload_row_mismatch_raises(self):
+        def program(comm):
+            mig = ParticleMigrator(comm, MESH)
+            with pytest.raises(CommunicationError):
+                mig.migrate(np.zeros((3, 3)), np.zeros((2, 1)))
+            comm.Barrier()
+            return True
+
+        assert all(spmd(4, program))
+
+    def test_mesh_comm_size_mismatch_raises(self):
+        def program(comm):
+            with pytest.raises(CommunicationError):
+                ParticleMigrator(comm, MESH)  # 4 blocks, 2 ranks
+            comm.Barrier()
+            return True
+
+        assert all(spmd(2, program))
+
+    def test_empty_ranks_ok(self):
+        def program(comm):
+            mig = ParticleMigrator(comm, MESH)
+            # All particles from rank 0 only; others contribute none.
+            if comm.rank == 0:
+                pos = np.array([[-2.0, -2.0, 0.0], [2.0, 2.0, 0.0]])
+            else:
+                pos = np.empty((0, 3))
+            m = mig.migrate(pos, np.empty((pos.shape[0], 0)))
+            back = mig.migrate_back(m, np.full((m.count, 1), float(comm.rank)))
+            return m.count, back.shape
+
+        results = spmd(4, program)
+        assert sum(c for c, _ in results) == 2
+        assert results[0][1] == (2, 1)
+        assert results[0][1][0] == 2
+
+
+class TestCutoffHalo:
+    @pytest.mark.parametrize("cutoff", [0.4, 1.1, 2.5])
+    def test_completeness(self, cutoff):
+        """Every pair within the cutoff must be locally visible."""
+
+        def program(comm):
+            rng = np.random.default_rng(7 + comm.rank)
+            pos = rng.uniform(-3, 3, size=(45, 3))
+            mig = ParticleMigrator(comm, MESH)
+            m = mig.migrate(pos, np.empty((45, 0)))
+            ghosts = halo_exchange(comm, MESH, m.positions, m.payload, cutoff)
+            everyone = np.concatenate(comm.allgather(m.positions))
+            local = np.concatenate([m.positions, ghosts.positions])
+            for i in range(m.count):
+                d = np.linalg.norm(everyone - m.positions[i], axis=1)
+                needed = everyone[d <= cutoff]
+                for p in needed:
+                    if not np.any(np.all(np.isclose(local, p, atol=1e-12), axis=1)):
+                        return False
+            return True
+
+        assert all(spmd(4, program))
+
+    def test_payload_travels_with_ghosts(self):
+        def program(comm):
+            mig = ParticleMigrator(comm, MESH)
+            # One particle per rank near the global center corner.
+            offsets = {0: (-0.1, -0.1), 1: (-0.1, 0.1), 2: (0.1, -0.1), 3: (0.1, 0.1)}
+            dx, dy = offsets[comm.rank]
+            pos = np.array([[dx, dy, 0.0]])
+            pay = np.array([[float(comm.rank) + 10.0]])
+            m = mig.migrate(pos, pay)
+            ghosts = halo_exchange(comm, MESH, m.positions, m.payload, 0.5)
+            return sorted(ghosts.payload[:, 0].tolist())
+
+        results = spmd(4, program)
+        for rank, ghost_payloads in enumerate(results):
+            assert ghost_payloads == sorted(
+                 [10.0 + r for r in range(4) if r != rank]
+            )
+
+    def test_no_ghosts_for_tiny_cutoff_interior(self):
+        def program(comm):
+            mig = ParticleMigrator(comm, MESH)
+            # Center of my own block: far from every boundary.
+            x0, x1, y0, y1 = MESH.block_rect(comm.rank)
+            pos = np.array([[(x0 + x1) / 2, (y0 + y1) / 2, 0.0]])
+            m = mig.migrate(pos, np.empty((1, 0)))
+            ghosts = halo_exchange(comm, MESH, m.positions, m.payload, 0.05)
+            return ghosts.count == 0 and ghosts.sent_copies == 0
+
+        assert all(spmd(4, program))
