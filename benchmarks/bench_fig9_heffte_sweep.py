@@ -7,38 +7,69 @@ MPI's MPI_Alltoall primitive.  In contrast, on large numbers of
 processes, heFFTe performance improves if the AllToAll parameter is
 true."
 
-Reproduction: the full 8-config × GPU-count grid from the analytic
-model (same workload as Figure 3), with the crossover assertions, plus
-a functional sanity check that all eight configurations actually run
-and agree numerically at 4 ranks.
+Reproduction: the full 8-config × GPU-count grid, expressed as a
+*campaign deck* and executed through :mod:`repro.campaign` — the deck
+expands to 40 model-mode runs, the executor dispatches them
+longest-job-first with store-level dedup, and the report module pivots
+the store back into the figure grid.  The crossover assertions are
+unchanged, and a functional sanity check still verifies all eight
+configurations agree numerically at 4 ranks.
 """
 
+import itertools
 import math
 
 import numpy as np
 
 from repro import mpi
+from repro.campaign import (
+    CampaignDeck,
+    CampaignExecutor,
+    CampaignStore,
+    series_grid,
+)
 from repro.fft import ALL_CONFIGS, DistributedFFT2D, FftConfig
-from repro.machine import LASSEN, low_order_evaluation, step_time
 
 from common import GPU_SWEEP, print_series, save_results
 
 BASE_MESH = 4864
 
 
-def model_grid():
-    grid = {}
-    for cfg in ALL_CONFIGS:
-        series = []
-        for p in GPU_SWEEP:
-            n = int(BASE_MESH * math.sqrt(p / 4))
-            series.append(step_time(low_order_evaluation(p, (n, n), LASSEN, cfg)))
-        grid[cfg.index] = series
-    return grid
+def fig9_deck() -> CampaignDeck:
+    """The paper's weak-scaled 8-config sweep as a declarative deck."""
+    meshes = [int(BASE_MESH * math.sqrt(p / 4)) for p in GPU_SWEEP]
+    return CampaignDeck.from_dict({
+        "name": "fig9_heffte_sweep",
+        "mode": "model",
+        "steps": 1,
+        "base": {"order": "low"},
+        "grid": {"fft_config": [c.index for c in ALL_CONFIGS]},
+        "zip": {
+            "ranks": list(GPU_SWEEP),
+            "num_nodes": [[n, n] for n in meshes],
+        },
+    })
 
 
-def test_fig9_configuration_sweep(benchmark):
-    grid = model_grid()
+def run_campaign(store_root) -> CampaignStore:
+    store = CampaignStore("fig9_heffte_sweep", root=str(store_root))
+    CampaignExecutor(store, max_workers=8).submit(fig9_deck().expand())
+    return store
+
+
+def model_grid(store: CampaignStore) -> dict[int, list[float]]:
+    """config index → step time per GPU count, from the campaign store."""
+    pivot = series_grid(
+        store, row="config.fft_config", col="ranks", value="result.step_time"
+    )
+    assert pivot["cols"] == list(GPU_SWEEP)
+    return {int(r): pivot["grid"][str(r)] for r in pivot["rows"]}
+
+
+def test_fig9_configuration_sweep(benchmark, tmp_path):
+    store = run_campaign(tmp_path)
+    grid = model_grid(store)
+    assert len(grid) == 8 and all(len(v) == len(GPU_SWEEP) for v in grid.values())
     rows = [
         [f"config {idx}"] + [f"{t:.3f}" for t in series]
         for idx, series in sorted(grid.items())
@@ -69,7 +100,18 @@ def test_fig9_configuration_sweep(benchmark):
                 f"reorder={reorder})"
             )
     benchmark.extra_info["grid"] = {str(k): v for k, v in grid.items()}
-    benchmark(model_grid)
+    # Time the full campaign against a fresh store each round — reusing
+    # the populated store would time the store-hit no-op path instead.
+    fresh = itertools.count()
+    benchmark(lambda: run_campaign(tmp_path / f"round{next(fresh)}"))
+
+
+def test_fig9_campaign_dedup(tmp_path):
+    """Re-submitting the deck hits the store for all 40 points."""
+    store = run_campaign(tmp_path)
+    outcomes = CampaignExecutor(store, max_workers=8).submit(fig9_deck().expand())
+    assert len(outcomes) == 40
+    assert all(o.skipped for o in outcomes)
 
 
 def test_fig9_functional_all_configs_agree(benchmark):
@@ -94,13 +136,14 @@ def test_fig9_functional_all_configs_agree(benchmark):
     benchmark(lambda: run_config(ALL_CONFIGS[0]))
 
 
-def test_fig9_reorder_and_pencils_effects(benchmark):
+def test_fig9_reorder_and_pencils_effects(benchmark, tmp_path):
     """Secondary flag effects the model exposes (ablation-style)."""
-    grid = model_grid()
+    store = run_campaign(tmp_path)
+    grid = model_grid(store)
     # Reorder=False costs strided local passes: with the p2p backend it
     # also multiplies message counts, so config 2 >= config 3 at scale.
     assert grid[2][-1] >= grid[3][-1] * 0.99
     # Pencils reduce partner counts for the brick<->pencil hops in the
     # p2p backend at scale: config 3 <= config 1 at 1024.
     assert grid[3][-1] <= grid[1][-1] * 1.05
-    benchmark(model_grid)
+    benchmark(lambda: model_grid(store))

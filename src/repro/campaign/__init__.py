@@ -1,0 +1,61 @@
+"""Batch-run orchestration: decks → scheduled runs → persistent results.
+
+The campaign subsystem is how this repo sweeps the paper's evaluation
+space (order × BR solver × cutoff × mesh × rank count × heFFTe config)
+without every benchmark hand-rolling its own loop:
+
+* :mod:`repro.campaign.deck` — declarative sweep decks that expand into
+  content-hashed :class:`RunSpec`\\ s.
+* :mod:`repro.campaign.store` — persistent JSON-lines run store with
+  content-addressed dedup under ``results/campaigns/``.
+* :mod:`repro.campaign.scheduler` — machine-model cost estimates and
+  longest-job-first dispatch order.
+* :mod:`repro.campaign.executor` — concurrent execution with failure
+  isolation and checkpoint/resume of interrupted runs.
+* :mod:`repro.campaign.report` — aggregation into the figure/table
+  payloads the benchmark harness emits.
+
+Typical use::
+
+    from repro.campaign import CampaignDeck, CampaignExecutor, CampaignStore
+
+    deck = CampaignDeck.from_file("decks/fig9.json")
+    store = CampaignStore(deck.name)
+    outcomes = CampaignExecutor(store, max_workers=4).submit(deck.expand())
+"""
+
+from repro.campaign.deck import CampaignDeck, RunSpec
+from repro.campaign.executor import CampaignExecutor, RunOutcome
+from repro.campaign.report import (
+    campaign_summary,
+    campaign_table,
+    completed_records,
+    format_table,
+    record_field,
+    series_grid,
+)
+from repro.campaign.scheduler import (
+    estimate_cost,
+    longest_job_first,
+    makespan_estimate,
+)
+from repro.campaign.store import CampaignStore, RunRecord, results_root
+
+__all__ = [
+    "CampaignDeck",
+    "RunSpec",
+    "CampaignExecutor",
+    "RunOutcome",
+    "CampaignStore",
+    "RunRecord",
+    "results_root",
+    "estimate_cost",
+    "longest_job_first",
+    "makespan_estimate",
+    "campaign_summary",
+    "campaign_table",
+    "completed_records",
+    "format_table",
+    "record_field",
+    "series_grid",
+]

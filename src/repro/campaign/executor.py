@@ -1,0 +1,228 @@
+"""Concurrent campaign execution with dedup, failure isolation and resume.
+
+The executor runs each :class:`~repro.campaign.deck.RunSpec` in a
+thread pool (the simulated-MPI ranks inside each run are themselves
+threads, and numpy releases the GIL in its kernels, so runs genuinely
+overlap).  Before dispatch the batch is ordered longest-job-first by
+the machine-model cost estimate (:mod:`repro.campaign.scheduler`);
+completed hashes found in the store are skipped ("store hit"), one
+run's failure is captured in its index record without aborting its
+siblings, and interrupted functional runs resume from the checkpoint
+the previous attempt left in the run directory.
+
+``functional`` runs execute the real solver via
+:func:`repro.mpi.run_spmd`; ``model`` runs evaluate the paper-scale
+analytic patterns on a :class:`~repro.machine.model.MachineSpec` —
+that's how one deck spans both laptop-scale physics and 1024-GPU
+scaling points.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro import mpi
+from repro.campaign.deck import RunSpec
+from repro.campaign.scheduler import (
+    estimate_cost,
+    evaluation_model,
+    longest_job_first,
+)
+from repro.campaign.store import CampaignStore
+from repro.core.solver import Solver
+from repro.io.checkpoint import load_checkpoint
+from repro.machine.model import LASSEN, MachineSpec
+from repro.machine.patterns import step_time
+
+__all__ = ["RunOutcome", "CampaignExecutor"]
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one spec of a submitted batch."""
+
+    spec: RunSpec
+    run_hash: str
+    status: str                    # "completed" | "failed" | "skipped"
+    result: dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    resumed_from_step: int = 0
+
+    @property
+    def skipped(self) -> bool:
+        return self.status == "skipped"
+
+    @property
+    def completed(self) -> bool:
+        return self.status in ("completed", "skipped")
+
+
+class CampaignExecutor:
+    """Runs batches of specs against one :class:`CampaignStore`."""
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        *,
+        max_workers: int = 4,
+        timeout: float = 120.0,
+        machine: MachineSpec = LASSEN,
+        checkpoint_freq: int = 0,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.store = store
+        self.max_workers = max(1, int(max_workers))
+        self.timeout = timeout
+        self.machine = machine
+        self.checkpoint_freq = int(checkpoint_freq)
+        self._log = log
+
+    def log(self, message: str) -> None:
+        if self._log is not None:
+            self._log(f"[campaign {self.store.campaign}] {message}")
+
+    # -- batch submission ------------------------------------------------------
+
+    def submit(self, specs: Sequence[RunSpec]) -> list[RunOutcome]:
+        """Run a batch; returns outcomes in the original submission order.
+
+        Duplicate specs within the batch run once; hashes already
+        completed in the store are skipped outright.
+        """
+        unique: dict[str, RunSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.run_hash(), spec)
+        completed = self.store.completed_hashes()
+
+        outcomes: dict[str, RunOutcome] = {}
+        to_run: list[RunSpec] = []
+        for run_hash, spec in unique.items():
+            result = (
+                self.store.load_result(run_hash) if run_hash in completed else None
+            )
+            if result is not None and self._hit_is_valid(spec, result):
+                outcomes[run_hash] = RunOutcome(
+                    spec=spec, run_hash=run_hash, status="skipped", result=result
+                )
+                self.log(f"{run_hash} store hit — skipped ({spec.describe()})")
+            else:
+                to_run.append(spec)
+
+        ordered = longest_job_first(to_run, self.machine)
+        if ordered:
+            self.log(
+                f"dispatching {len(ordered)} runs on {self.max_workers} workers "
+                f"(longest-job-first, modeled head cost "
+                f"{estimate_cost(ordered[0], self.machine):.3g}s)"
+            )
+        pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        try:
+            for outcome in pool.map(self.run_one, ordered):
+                outcomes[outcome.run_hash] = outcome
+        except BaseException:
+            # Ctrl-C (or a submit-side error) must not let the queued
+            # remainder of the campaign run to completion behind us.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
+        return [outcomes[spec.run_hash()] for spec in specs]
+
+    def _hit_is_valid(self, spec: RunSpec, result: dict[str, Any]) -> bool:
+        """Model-mode hits only count for the same machine they were
+        costed on; functional results are machine independent."""
+        if spec.mode != "model":
+            return True
+        return result.get("machine") in (None, self.machine.name)
+
+    # -- single runs -----------------------------------------------------------
+
+    def run_one(self, spec: RunSpec) -> RunOutcome:
+        """Execute one spec, recording success or failure in the store."""
+        run_hash = spec.run_hash()
+        start = time.perf_counter()
+        try:
+            if spec.mode == "model":
+                result, resumed = self._run_model(spec), 0
+            else:
+                result, resumed = self._run_functional(spec, run_hash)
+        except BaseException:
+            elapsed = time.perf_counter() - start
+            error = traceback.format_exc(limit=20)
+            self.store.record_failed(spec, error, elapsed=elapsed)
+            self.log(f"{run_hash} FAILED after {elapsed:.2f}s ({spec.describe()})")
+            return RunOutcome(
+                spec=spec, run_hash=run_hash, status="failed",
+                error=error, elapsed=elapsed,
+            )
+        elapsed = time.perf_counter() - start
+        self.store.record_completed(
+            spec, result, elapsed=elapsed, resumed_from_step=resumed
+        )
+        note = f" (resumed from step {resumed})" if resumed else ""
+        self.log(f"{run_hash} completed in {elapsed:.2f}s{note} ({spec.describe()})")
+        return RunOutcome(
+            spec=spec, run_hash=run_hash, status="completed",
+            result=result, elapsed=elapsed, resumed_from_step=resumed,
+        )
+
+    def _run_functional(
+        self, spec: RunSpec, run_hash: str
+    ) -> tuple[dict[str, Any], int]:
+        """Real solver run on simulated ranks, with checkpoint/resume."""
+        ckpt_path = self.store.checkpoint_path(run_hash)
+        resume_state = None
+        if os.path.exists(ckpt_path):
+            state = load_checkpoint(ckpt_path)
+            if 0 < state["step"] < spec.steps:
+                resume_state = state
+        resumed_from = resume_state["step"] if resume_state is not None else 0
+        freq = self.checkpoint_freq
+        if freq > 0:
+            self.store.run_dir(run_hash, create=True)
+
+        def program(comm):
+            if resume_state is not None:
+                solver = Solver.from_checkpoint(
+                    comm, spec.config, resume_state, spec.ic
+                )
+            else:
+                solver = Solver(comm, spec.config, spec.ic)
+
+            def maybe_checkpoint(s: Solver) -> None:
+                if freq > 0 and s.step_count % freq == 0:
+                    s.save_checkpoint(ckpt_path)
+
+            solver.run(
+                spec.steps - solver.step_count,
+                on_step=maybe_checkpoint if freq > 0 else None,
+            )
+            return solver.diagnostics()
+
+        results = mpi.run_spmd(spec.ranks, program, timeout=self.timeout)
+        diagnostics = results[0]
+        if os.path.exists(ckpt_path):
+            os.remove(ckpt_path)
+        return {"kind": "functional", "diagnostics": diagnostics}, resumed_from
+
+    def _run_model(self, spec: RunSpec) -> dict[str, Any]:
+        """Paper-scale analytic point on the machine model."""
+        model = evaluation_model(spec, self.machine)
+        per_step = step_time(model)
+        return {
+            "kind": "model",
+            "machine": self.machine.name,
+            "step_time": per_step,
+            "total_time": spec.steps * per_step,
+            "comm_time": 3.0 * model.comm_total(),
+            "compute_time": 3.0 * model.compute_total(),
+            "phases": {
+                name: {"comm": cost.comm, "compute": cost.compute}
+                for name, cost in model.phases.items()
+            },
+        }

@@ -1,0 +1,148 @@
+"""Campaign aggregation into figure/table payloads.
+
+Turns a campaign's completed run records into the same shapes the
+benchmark harness emits (``benchmarks/common.py``): ``{"header": ...,
+"rows": ...}`` tables and row-by-column series grids keyed by any spec
+or result field.  Fields are addressed with dotted keys into the run
+record — e.g. ``"config.fft_config"``, ``"ranks"``,
+``"result.step_time"``, ``"result.diagnostics.amplitude"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.campaign.store import COMPLETED, CampaignStore, RunRecord
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "record_field",
+    "completed_records",
+    "campaign_table",
+    "series_grid",
+    "campaign_summary",
+    "format_table",
+]
+
+_MISSING = object()
+
+
+def record_field(record: RunRecord, key: str) -> Any:
+    """Resolve a dotted key against a run record.
+
+    The first segment selects ``spec`` fields by default; ``result.``
+    addresses the stored result payload and ``run_hash`` / ``status`` /
+    ``elapsed`` the record itself.
+    """
+    if key in ("run_hash", "status", "elapsed", "error", "resumed_from_step"):
+        return getattr(record, key)
+    parts = key.split(".")
+    node: Any = record.result if parts[0] == "result" else record.spec
+    if parts[0] == "result":
+        parts = parts[1:]
+    for part in parts:
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def completed_records(store: CampaignStore) -> list[RunRecord]:
+    """Latest completed record per hash, in stable (hash-sorted) order."""
+    latest = store.latest_records()
+    return [
+        latest[h] for h in sorted(latest)
+        if latest[h].status == COMPLETED
+    ]
+
+
+def campaign_table(
+    store: CampaignStore,
+    columns: Sequence[str],
+    *,
+    sort_by: Optional[str] = None,
+) -> dict[str, Any]:
+    """A ``{"header", "rows"}`` payload with one row per completed run."""
+    if not columns:
+        raise ConfigurationError("campaign_table needs at least one column")
+    records = completed_records(store)
+    if sort_by is not None:
+        records.sort(key=lambda r: _sort_key(record_field(r, sort_by)))
+    rows = [[record_field(r, c) for c in columns] for r in records]
+    return {"header": list(columns), "rows": rows}
+
+
+def series_grid(
+    store: CampaignStore,
+    *,
+    row: str,
+    col: str,
+    value: str,
+) -> dict[str, Any]:
+    """Pivot completed runs into a dense row × column value grid.
+
+    Returns ``{"row_key", "col_key", "rows", "cols", "grid"}`` where
+    ``grid[row_label]`` is the list of values in column order (``None``
+    for missing cells).
+    """
+    records = completed_records(store)
+    cells: dict[tuple[Any, Any], Any] = {}
+    for record in records:
+        r = record_field(record, row)
+        c = record_field(record, col)
+        cells[(_freeze(r), _freeze(c))] = record_field(record, value)
+    rows = sorted({r for r, _ in cells}, key=_sort_key)
+    cols = sorted({c for _, c in cells}, key=_sort_key)
+    grid = {
+        str(r): [cells.get((r, c)) for c in cols]
+        for r in rows
+    }
+    return {
+        "row_key": row, "col_key": col, "value_key": value,
+        "rows": rows, "cols": cols, "grid": grid,
+    }
+
+
+def campaign_summary(store: CampaignStore) -> dict[str, Any]:
+    """Counts and aggregate elapsed time of the campaign so far."""
+    latest = store.latest_records()
+    completed = [r for r in latest.values() if r.status == COMPLETED]
+    failed = [r for r in latest.values() if r.status != COMPLETED]
+    return {
+        "campaign": store.campaign,
+        "runs": len(latest),
+        "completed": len(completed),
+        "failed": len(failed),
+        "resumed": sum(1 for r in completed if r.resumed_from_step > 0),
+        "elapsed_total": sum(r.elapsed for r in latest.values()),
+    }
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width rendering (same look as the benchmark harness)."""
+    widths = [
+        max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i, h in enumerate(header)
+    ]
+    lines = ["  ".join(str(h).rjust(w) for h, w in zip(header, widths))]
+    for row in rows:
+        lines.append("  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _freeze(value: Any) -> Any:
+    return tuple(value) if isinstance(value, list) else value
+
+
+def _sort_key(value: Any) -> tuple:
+    # Mixed-type sort: numbers first in numeric order, then everything
+    # else by string form.
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return (1, str(value))
+    return (0, value)

@@ -1,0 +1,196 @@
+"""Persistent campaign run store (JSON-lines index + per-run artifacts).
+
+Layout, rooted at ``$REPRO_RESULTS_DIR`` (default ``results/``)::
+
+    results/campaigns/<campaign>/index.jsonl      append-only run records
+    results/campaigns/<campaign>/runs/<hash>/     per-run artifact dir
+        result.json                               diagnostics / model payload
+        checkpoint.npz                            in-progress solver state
+
+The index is append-only and the *last* record per run hash wins, so a
+failed run can be retried and a re-submitted deck skips every hash whose
+latest record is ``completed`` — content-addressed dedup without any
+locking beyond the per-store append mutex.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.campaign.deck import RunSpec
+from repro.util.errors import ConfigurationError
+
+__all__ = ["RunRecord", "CampaignStore", "results_root"]
+
+COMPLETED = "completed"
+FAILED = "failed"
+
+
+def results_root() -> str:
+    """Root of the shared results tree (``REPRO_RESULTS_DIR`` overrides)."""
+    return os.path.normpath(os.environ.get("REPRO_RESULTS_DIR") or "results")
+
+
+@dataclass
+class RunRecord:
+    """One line of the campaign index."""
+
+    run_hash: str
+    status: str
+    spec: dict[str, Any] = field(default_factory=dict)
+    result: dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    timestamp: float = 0.0
+    resumed_from_step: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "run_hash": self.run_hash,
+                "status": self.status,
+                "spec": self.spec,
+                "result": self.result,
+                "error": self.error,
+                "elapsed": self.elapsed,
+                "timestamp": self.timestamp,
+                "resumed_from_step": self.resumed_from_step,
+            },
+            sort_keys=True,
+            default=str,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunRecord":
+        data = json.loads(line)
+        return cls(**{k: data.get(k, v) for k, v in _RECORD_DEFAULTS.items()})
+
+
+_RECORD_DEFAULTS = {
+    "run_hash": "",
+    "status": FAILED,
+    "spec": {},
+    "result": {},
+    "error": None,
+    "elapsed": 0.0,
+    "timestamp": 0.0,
+    "resumed_from_step": 0,
+}
+
+
+class CampaignStore:
+    """Append-only, content-addressed store for one campaign's runs."""
+
+    def __init__(self, campaign: str, root: Optional[str] = None) -> None:
+        if not campaign or os.sep in campaign or campaign in (".", ".."):
+            raise ConfigurationError(f"invalid campaign name {campaign!r}")
+        self.campaign = campaign
+        self.root = os.path.join(root or results_root(), "campaigns", campaign)
+        self._lock = threading.Lock()
+
+    # -- paths ----------------------------------------------------------------
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, "index.jsonl")
+
+    def run_dir(self, run_hash: str, create: bool = False) -> str:
+        path = os.path.join(self.root, "runs", run_hash)
+        if create:
+            os.makedirs(path, exist_ok=True)
+        return path
+
+    def checkpoint_path(self, run_hash: str) -> str:
+        return os.path.join(self.run_dir(run_hash), "checkpoint.npz")
+
+    def result_path(self, run_hash: str) -> str:
+        return os.path.join(self.run_dir(run_hash), "result.json")
+
+    # -- index ----------------------------------------------------------------
+
+    def iter_records(self) -> Iterator[RunRecord]:
+        """All index records in append order (empty if no index yet)."""
+        if not os.path.exists(self.index_path):
+            return
+        with open(self.index_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield RunRecord.from_json(line)
+
+    def latest_records(self) -> dict[str, RunRecord]:
+        """Last record per run hash (retries overwrite earlier failures)."""
+        latest: dict[str, RunRecord] = {}
+        for record in self.iter_records():
+            latest[record.run_hash] = record
+        return latest
+
+    def completed_hashes(self) -> set[str]:
+        return {
+            h for h, rec in self.latest_records().items()
+            if rec.status == COMPLETED
+        }
+
+    def is_completed(self, run_hash: str) -> bool:
+        record = self.latest_records().get(run_hash)
+        return record is not None and record.status == COMPLETED
+
+    def append(self, record: RunRecord) -> None:
+        """Thread-safe append of one record to the index."""
+        if not record.timestamp:
+            record.timestamp = time.time()
+        with self._lock:
+            os.makedirs(self.root, exist_ok=True)
+            with open(self.index_path, "a", encoding="utf-8") as fh:
+                fh.write(record.to_json() + "\n")
+
+    # -- results --------------------------------------------------------------
+
+    def record_completed(
+        self,
+        spec: RunSpec,
+        result: dict[str, Any],
+        *,
+        elapsed: float = 0.0,
+        resumed_from_step: int = 0,
+    ) -> RunRecord:
+        run_hash = spec.run_hash()
+        self.run_dir(run_hash, create=True)
+        with open(self.result_path(run_hash), "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, default=str)
+        record = RunRecord(
+            run_hash=run_hash,
+            status=COMPLETED,
+            spec=spec.payload(),
+            result=result,
+            elapsed=elapsed,
+            resumed_from_step=resumed_from_step,
+        )
+        self.append(record)
+        return record
+
+    def record_failed(
+        self, spec: RunSpec, error: str, *, elapsed: float = 0.0
+    ) -> RunRecord:
+        record = RunRecord(
+            run_hash=spec.run_hash(),
+            status=FAILED,
+            spec=spec.payload(),
+            error=error,
+            elapsed=elapsed,
+        )
+        self.append(record)
+        return record
+
+    def load_result(self, run_hash: str) -> Optional[dict[str, Any]]:
+        path = self.result_path(run_hash)
+        if not os.path.exists(path):
+            record = self.latest_records().get(run_hash)
+            return record.result if record and record.status == COMPLETED else None
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)

@@ -13,6 +13,17 @@ Examples::
     rocketrig --nodes 32 --order high --br-solver cutoff --cutoff 0.8 \\
               --free-boundaries --ic single_mode --magnitude 0.12 \\
               --steps 30 --ranks 4 --outdir results/rig
+
+Batch campaigns (``rocketrig campaign``) run a whole sweep deck through
+the :mod:`repro.campaign` subsystem: runs execute concurrently in
+longest-job-first order, results land in the persistent store under
+``results/campaigns/<name>/`` (``REPRO_RESULTS_DIR`` overrides the
+root), re-invocations skip every already-completed run ("store hit"
+lines), and interrupted runs resume from their checkpoint::
+
+    rocketrig campaign decks/fig9.json --workers 4 --checkpoint-freq 5
+    rocketrig campaign decks/fig9.json --report config.fft_config ranks \\
+              result.step_time
 """
 
 from __future__ import annotations
@@ -33,8 +44,9 @@ from repro.core import (
 )
 from repro.fft import FftConfig
 from repro.machine import LASSEN, replay_trace
+from repro.util.errors import ReproError
 
-__all__ = ["main", "build_parser", "run_from_args"]
+__all__ = ["main", "build_parser", "run_from_args", "run_campaign_from_args"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +101,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--write-freq", type=int, default=10)
     run.add_argument("--trace", action="store_true",
                      help="print a communication summary and modeled cost")
+
+    sub = parser.add_subparsers(dest="command", metavar="subcommand")
+    camp = sub.add_parser(
+        "campaign",
+        help="run a batch sweep deck through the campaign subsystem",
+        description="Expand a JSON sweep deck, run it concurrently with "
+                    "store-level dedup and checkpoint/resume, and print a "
+                    "summary report.",
+    )
+    camp.add_argument("deck", help="path to the JSON campaign deck")
+    camp.add_argument("--workers", "-w", type=int, default=4,
+                      help="concurrent runs (default 4)")
+    camp.add_argument("--results-dir", default=None,
+                      help="results tree root (default: $REPRO_RESULTS_DIR "
+                           "or ./results)")
+    camp.add_argument("--timeout", type=float, default=120.0,
+                      help="per-run blocking-communication deadline (s)")
+    camp.add_argument("--checkpoint-freq", type=int, default=0,
+                      help="checkpoint functional runs every N steps "
+                           "(0 = off)")
+    camp.add_argument("--report", nargs="+", default=None, metavar="FIELD",
+                      help="dotted record fields to tabulate, e.g. "
+                           "config.fft_config ranks result.step_time")
     return parser
 
 
@@ -156,8 +191,62 @@ def run_from_args(args: argparse.Namespace) -> dict:
     return diag
 
 
+def run_campaign_from_args(args: argparse.Namespace) -> dict:
+    """Execute ``rocketrig campaign <deck.json>`` and print the outcome."""
+    from repro.campaign import (
+        CampaignDeck,
+        CampaignExecutor,
+        CampaignStore,
+        campaign_summary,
+        campaign_table,
+        format_table,
+        makespan_estimate,
+    )
+
+    try:
+        deck = CampaignDeck.from_file(args.deck)
+        specs = deck.expand()
+    except (OSError, TypeError, ValueError, ReproError) as exc:
+        raise SystemExit(f"rocketrig campaign: bad deck {args.deck!r}: {exc}")
+    store = CampaignStore(deck.name, root=args.results_dir)
+    executor = CampaignExecutor(
+        store,
+        max_workers=args.workers,
+        timeout=args.timeout,
+        checkpoint_freq=args.checkpoint_freq,
+        log=print,
+    )
+    print(f"campaign {deck.name!r}: {len(specs)} runs "
+          f"({deck.mode} mode), {args.workers} workers, "
+          f"modeled makespan {makespan_estimate(specs, args.workers):.3g}s")
+    outcomes = executor.submit(specs)
+
+    ran = sum(1 for o in outcomes if o.status == "completed")
+    skipped = sum(1 for o in outcomes if o.skipped)
+    failed = sum(1 for o in outcomes if o.status == "failed")
+    print(f"campaign {deck.name!r}: {ran} ran, {skipped} store hits, "
+          f"{failed} failed; store at {store.root}")
+
+    if args.report:
+        table = campaign_table(store, args.report, sort_by=args.report[0])
+        print(format_table(table["header"], table["rows"]))
+    if failed:
+        for outcome in outcomes:
+            if outcome.status == "failed":
+                last_line = outcome.error.strip().splitlines()[-1]
+                print(f"  failed {outcome.run_hash}: {last_line}")
+    summary = campaign_summary(store)
+    # Exit status reflects THIS batch: stale failed records from earlier
+    # invocations (e.g. a deck point since removed) don't poison it.
+    summary["batch_failed"] = failed
+    return summary
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "command", None) == "campaign":
+        summary = run_campaign_from_args(args)
+        return 0 if summary["batch_failed"] == 0 else 1
     run_from_args(args)
     return 0
 

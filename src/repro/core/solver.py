@@ -82,6 +82,20 @@ class SolverConfig:
     spatial_high: Optional[tuple[float, float, float]] = None
     fft_config: FftConfig = field(default_factory=FftConfig)
 
+    def __post_init__(self) -> None:
+        if any(n <= 0 for n in self.num_nodes):
+            raise ConfigurationError(
+                f"num_nodes must be positive, got {self.num_nodes}"
+            )
+        if self.cutoff <= 0:
+            raise ConfigurationError(f"cutoff must be positive, got {self.cutoff}")
+        if not 0.0 <= self.atwood <= 1.0:
+            raise ConfigurationError(
+                f"atwood must lie in [0, 1], got {self.atwood}"
+            )
+        if self.cfl <= 0:
+            raise ConfigurationError(f"cfl must be positive, got {self.cfl}")
+
     # -- derived values -------------------------------------------------------
 
     def spacing(self) -> tuple[float, float]:
@@ -214,6 +228,72 @@ class Solver:
                 self.step_count % write_freq == 0 or n == nsteps - 1
             ):
                 writer(self)
+
+    # -- checkpoint / resume -----------------------------------------------------
+
+    def save_checkpoint(self, path: str) -> Optional[str]:
+        """Collectively write the global solver state to ``path``.
+
+        All ranks must call this (it gathers the global surface); only
+        rank 0 writes and returns the path, other ranks return ``None``.
+        """
+        from repro.core.diagnostics import gather_global_state
+        from repro.io.checkpoint import save_checkpoint as _save
+
+        z_global, w_global = gather_global_state(self.pm)
+        if self.comm.rank != 0:
+            return None
+        return _save(
+            path,
+            positions=z_global,
+            vorticity=w_global,
+            time=self.time,
+            step=self.step_count,
+            metadata={
+                "order": self.config.order,
+                "br_solver": self.config.br_solver,
+                "num_nodes": list(self.config.num_nodes),
+                "dt": self.dt,
+            },
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        comm: Comm,
+        config: SolverConfig,
+        state: "str | dict[str, Any]",
+        ic: Optional[InitialCondition] = None,
+    ) -> "Solver":
+        """Rebuild a solver from a checkpoint written by :meth:`save_checkpoint`.
+
+        ``state`` is either a checkpoint path or an already-loaded dict
+        (as returned by :func:`repro.io.checkpoint.load_checkpoint`).
+        Each rank installs its owned slice of the global arrays, so the
+        resumed run is decomposition independent of the writing run.
+        """
+        from repro.io.checkpoint import load_checkpoint
+
+        if isinstance(state, (str, bytes)) or hasattr(state, "__fspath__"):
+            state = load_checkpoint(state)
+        z_global = np.asarray(state["positions"])
+        w_global = np.asarray(state["vorticity"])
+        if z_global.shape[:2] != tuple(config.num_nodes):
+            raise ConfigurationError(
+                f"checkpoint mesh {z_global.shape[:2]} does not match "
+                f"config num_nodes {tuple(config.num_nodes)}"
+            )
+        solver = cls(comm, config, ic or InitialCondition(kind="flat"))
+        space = solver.mesh.local_grid.owned_space
+        (i0, j0), (ni, nj) = space.mins, space.shape
+        solver.pm.set_state(
+            z_global[i0: i0 + ni, j0: j0 + nj],
+            w_global[i0: i0 + ni, j0: j0 + nj],
+        )
+        solver.pm.gather_state()
+        solver.time = float(state["time"])
+        solver.step_count = int(state["step"])
+        return solver
 
     # -- diagnostics -------------------------------------------------------------
 

@@ -27,9 +27,11 @@ def save_checkpoint(
     step: int,
     metadata: dict[str, Any] | None = None,
 ) -> str:
-    """Write a checkpoint; returns the path written (``.npz`` appended
-    by numpy when missing)."""
+    """Write a checkpoint; returns exactly the path written (``.npz``
+    appended when missing)."""
     path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     np.savez_compressed(
         path,
@@ -41,7 +43,7 @@ def save_checkpoint(
             json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
         ),
     )
-    return path if path.endswith(".npz") else path + ".npz"
+    return path
 
 
 def load_checkpoint(path: str | os.PathLike) -> dict[str, Any]:

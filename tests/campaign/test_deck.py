@@ -1,0 +1,121 @@
+"""Deck expansion: determinism, grid/zip semantics, validation."""
+
+import pytest
+
+from repro.campaign import CampaignDeck, RunSpec
+from repro.core import InitialCondition, SolverConfig
+from repro.util.errors import ConfigurationError
+
+
+def make_deck(**overrides):
+    data = {
+        "name": "t",
+        "mode": "model",
+        "steps": 2,
+        "base": {"order": "low", "num_nodes": [32, 32]},
+        "ic": {"kind": "multi_mode", "magnitude": 0.02},
+        "grid": {"fft_config": [0, 7], "ranks": [4, 16]},
+    }
+    data.update(overrides)
+    return CampaignDeck.from_dict(data)
+
+
+class TestExpansion:
+    def test_grid_product_size(self):
+        deck = make_deck()
+        specs = deck.expand()
+        assert len(specs) == deck.size() == 4
+        assert {(s.config.fft_config.index, s.ranks) for s in specs} == {
+            (0, 4), (0, 16), (7, 4), (7, 16)
+        }
+
+    def test_same_deck_same_hashes(self):
+        a = [s.run_hash() for s in make_deck().expand()]
+        b = [s.run_hash() for s in make_deck().expand()]
+        assert a == b
+        assert len(set(a)) == len(a)
+
+    def test_distinct_points_distinct_hashes(self):
+        specs = make_deck().expand()
+        assert len({s.run_hash() for s in specs}) == len(specs)
+
+    def test_hash_ignores_campaign_name(self):
+        spec = RunSpec(SolverConfig(), InitialCondition(), campaign="a")
+        other = RunSpec(SolverConfig(), InitialCondition(), campaign="b")
+        assert spec.run_hash() == other.run_hash()
+
+    def test_zip_axes_advance_together(self):
+        deck = make_deck(
+            grid={"fft_config": [0, 7]},
+            zip={"ranks": [4, 16], "num_nodes": [[32, 32], [64, 64]]},
+        )
+        specs = deck.expand()
+        assert len(specs) == 4
+        pairs = {(s.ranks, s.config.num_nodes) for s in specs}
+        assert pairs == {(4, (32, 32)), (16, (64, 64))}
+
+    def test_base_and_ic_overrides(self):
+        deck = make_deck(grid={"ic.magnitude": [0.01, 0.04], "steps": [1, 3]})
+        specs = deck.expand()
+        assert {s.ic.magnitude for s in specs} == {0.01, 0.04}
+        assert {s.steps for s in specs} == {1, 3}
+        assert all(s.config.order == "low" for s in specs)
+        assert all(s.ic.kind == "multi_mode" for s in specs)
+
+    def test_fft_config_index_expansion(self):
+        spec = make_deck(grid={"fft_config": [5]}).expand()[0]
+        assert spec.config.fft_config.index == 5
+        assert spec.payload()["config"]["fft_config"] == 5
+
+    def test_from_file_defaults_name_to_stem(self, tmp_path):
+        path = tmp_path / "my_sweep.json"
+        path.write_text('{"mode": "model", "grid": {"ranks": [1]}}')
+        deck = CampaignDeck.from_file(path)
+        assert deck.name == "my_sweep"
+        assert deck.expand()[0].campaign == "my_sweep"
+
+
+class TestValidation:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown deck axis"):
+            make_deck(grid={"warp_factor": [1, 2]})
+
+    def test_unknown_ic_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="initial-condition"):
+            make_deck(grid={"ic.warp": [1]})
+
+    def test_zip_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="equal lengths"):
+            make_deck(zip={"ranks": [1, 2], "steps": [1, 2, 3]})
+
+    def test_grid_zip_overlap_rejected(self):
+        with pytest.raises(ConfigurationError, match="both grid and zip"):
+            make_deck(grid={"ranks": [1]}, zip={"ranks": [2]})
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            make_deck(mode="imaginary")
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            make_deck(grid={"ranks": []})
+
+    def test_base_typo_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown base config"):
+            make_deck(base={"num_node": [16, 16]})
+
+    def test_ic_typo_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown ic fields"):
+            make_deck(ic={"knd": "flat"})
+
+    def test_unknown_deck_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown deck keys"):
+            CampaignDeck.from_dict({"mode": "model", "sweeps": {}})
+
+    def test_bad_spec_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(SolverConfig(), InitialCondition(), ranks=0)
+        with pytest.raises(ConfigurationError):
+            RunSpec(SolverConfig(), InitialCondition(), steps=0)
+        with pytest.raises(ConfigurationError):
+            RunSpec(SolverConfig(), InitialCondition(), mode="dream")

@@ -1,0 +1,96 @@
+"""Run store: append-only index, last-record-wins, dedup, env root."""
+
+import os
+
+import pytest
+
+from repro.campaign import CampaignDeck, CampaignStore, RunRecord, results_root
+from repro.campaign.store import COMPLETED, FAILED
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def spec():
+    return CampaignDeck.from_dict(
+        {"mode": "model", "base": {"order": "low"}, "grid": {"ranks": [4]}}
+    ).expand()[0]
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CampaignStore("t", root=str(tmp_path))
+
+
+class TestIndex:
+    def test_empty_store(self, store):
+        assert list(store.iter_records()) == []
+        assert store.completed_hashes() == set()
+        assert not store.is_completed("deadbeef")
+
+    def test_record_completed_roundtrip(self, store, spec):
+        record = store.record_completed(spec, {"step_time": 1.5}, elapsed=0.1)
+        assert store.is_completed(spec.run_hash())
+        assert store.load_result(spec.run_hash()) == {"step_time": 1.5}
+        assert os.path.exists(store.result_path(spec.run_hash()))
+        assert record.spec == spec.payload()
+
+    def test_last_record_wins(self, store, spec):
+        store.record_failed(spec, "boom")
+        assert not store.is_completed(spec.run_hash())
+        store.record_completed(spec, {"ok": True})
+        assert store.is_completed(spec.run_hash())
+        records = list(store.iter_records())
+        assert [r.status for r in records] == [FAILED, COMPLETED]
+
+    def test_records_parse_back(self, store, spec):
+        store.record_failed(spec, "trace...", elapsed=2.0)
+        (record,) = store.iter_records()
+        assert isinstance(record, RunRecord)
+        assert record.error == "trace..."
+        assert record.elapsed == 2.0
+        assert record.timestamp > 0
+
+    def test_unknown_result_is_none(self, store):
+        assert store.load_result("cafebabe") is None
+
+
+class TestLayout:
+    def test_run_dir_and_checkpoint_path(self, store):
+        path = store.run_dir("abc123", create=True)
+        assert os.path.isdir(path)
+        assert store.checkpoint_path("abc123").startswith(path)
+
+    def test_invalid_campaign_names(self, tmp_path):
+        for bad in ("", ".", "..", f"a{os.sep}b"):
+            with pytest.raises(ConfigurationError):
+                CampaignStore(bad, root=str(tmp_path))
+
+
+class TestResultsRoot:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        assert results_root() == "results"
+
+    def test_env_override_normpathed(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path) + os.sep + "x" + os.sep)
+        assert results_root() == os.path.join(str(tmp_path), "x")
+        store = CampaignStore("c")
+        assert store.root == os.path.join(str(tmp_path), "x", "campaigns", "c")
+
+    def test_benchmark_harness_honors_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        import importlib
+        import sys
+
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks"))
+        try:
+            import common
+            importlib.reload(common)
+            assert common.RESULTS_DIR == os.path.normpath(str(tmp_path))
+            saved = common.save_results("probe", {"v": 1})
+            assert saved.startswith(os.path.normpath(str(tmp_path)))
+            assert common.load_results("probe") == {"v": 1}
+        finally:
+            monkeypatch.delenv("REPRO_RESULTS_DIR")
+            importlib.reload(common)
+            sys.path.pop(0)

@@ -1,9 +1,11 @@
 """The rocketrig command-line driver."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.cli.rocketrig import build_parser, run_from_args
+from repro.cli.rocketrig import build_parser, main, run_from_args
 
 
 class TestParser:
@@ -60,3 +62,77 @@ class TestRun:
         )
         diag = run_from_args(args)
         assert diag["amplitude"] == 0.0
+
+
+class TestCampaignSubcommand:
+    DECK = {
+        "name": "cli_deck",
+        "mode": "functional",
+        "steps": 2,
+        "base": {"order": "low", "num_nodes": [16, 16], "dt": 0.002},
+        "ic": {"kind": "multi_mode", "magnitude": 0.02, "period": 3},
+        "grid": {"fft_config": [0, 7], "ranks": [1, 2]},
+    }
+
+    def _deck_path(self, tmp_path):
+        path = tmp_path / "deck.json"
+        path.write_text(json.dumps(self.DECK))
+        return str(path)
+
+    def test_parse(self, tmp_path):
+        args = build_parser().parse_args(
+            ["campaign", self._deck_path(tmp_path), "--workers", "2",
+             "--checkpoint-freq", "5"]
+        )
+        assert args.command == "campaign"
+        assert args.workers == 2
+        assert args.checkpoint_freq == 5
+
+    def test_plain_invocations_unaffected(self):
+        args = build_parser().parse_args(["--nodes", "32"])
+        assert getattr(args, "command", None) is None
+
+    def test_runs_and_dedups(self, tmp_path, capsys):
+        deck = self._deck_path(tmp_path)
+        results = str(tmp_path / "results")
+        assert main(["campaign", deck, "--workers", "2",
+                     "--results-dir", results,
+                     "--report", "config.fft_config", "ranks",
+                     "result.diagnostics.amplitude"]) == 0
+        out = capsys.readouterr().out
+        assert "4 ran, 0 store hits, 0 failed" in out
+        assert "config.fft_config" in out
+
+        # Second invocation: every run is a store hit.
+        assert main(["campaign", deck, "--workers", "2",
+                     "--results-dir", results]) == 0
+        out = capsys.readouterr().out
+        assert out.count("store hit — skipped") == 4
+        assert "0 ran, 4 store hits, 0 failed" in out
+
+    def test_bad_deck_exits_cleanly(self, tmp_path, capsys):
+        with pytest.raises(SystemExit, match="bad deck"):
+            main(["campaign", str(tmp_path / "missing.json")])
+        typo = tmp_path / "typo.json"
+        typo.write_text('{"mode": "functional", "base": {"num_node": [16, 16]}}')
+        with pytest.raises(SystemExit, match="unknown base config"):
+            main(["campaign", str(typo)])
+
+    def test_stale_failures_do_not_poison_exit_code(self, tmp_path, capsys):
+        """A failed record from an earlier deck version must not force
+        exit 1 once the deck no longer contains that point."""
+        results = str(tmp_path / "results")
+        bad = dict(self.DECK)
+        bad["grid"] = {"ranks": [1]}
+        bad["zip"] = {"num_nodes": [[16, 16], [2, 2]], "ranks": [1, 4]}
+        del bad["grid"]
+        deck_bad = tmp_path / "bad.json"
+        deck_bad.write_text(json.dumps(bad))
+        assert main(["campaign", str(deck_bad), "--results-dir", results]) == 1
+
+        good = dict(self.DECK)
+        good["grid"] = {"ranks": [1]}
+        deck_good = tmp_path / "good.json"
+        deck_good.write_text(json.dumps(good))
+        assert main(["campaign", str(deck_good), "--results-dir", results]) == 0
+        capsys.readouterr()

@@ -172,6 +172,23 @@ class TestSolverConfig:
         cfg = SolverConfig().with_updates(order="high", cutoff=0.7)
         assert cfg.order == "high" and cfg.cutoff == 0.7
 
+    def test_construction_rejects_bad_values_early(self):
+        with pytest.raises(ConfigurationError, match="num_nodes"):
+            SolverConfig(num_nodes=(0, 64))
+        with pytest.raises(ConfigurationError, match="num_nodes"):
+            SolverConfig(num_nodes=(64, -1))
+        with pytest.raises(ConfigurationError, match="cutoff"):
+            SolverConfig(cutoff=0.0)
+        with pytest.raises(ConfigurationError, match="atwood"):
+            SolverConfig(atwood=-0.1)
+        with pytest.raises(ConfigurationError, match="atwood"):
+            SolverConfig(atwood=1.5)
+        with pytest.raises(ConfigurationError, match="cfl"):
+            SolverConfig(cfl=0.0)
+        # Boundary values are legal.
+        assert SolverConfig(atwood=0.0).atwood == 0.0
+        assert SolverConfig(atwood=1.0).atwood == 1.0
+
     def test_low_order_requires_periodic(self):
         cfg = SolverConfig(periodic=(False, False), order="low")
 

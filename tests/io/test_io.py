@@ -1,5 +1,7 @@
 """VTK writer/reader round-trips and checkpointing."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -101,3 +103,34 @@ class TestCheckpoint:
         np.savez(bad, positions=np.zeros((2, 2, 3)))
         with pytest.raises(ConfigurationError):
             load_checkpoint(bad)
+
+    def test_returns_exactly_the_file_written(self, tmp_path, surface):
+        pos, _, _ = surface
+        vort = np.zeros(pos.shape[:2] + (2,))
+        # Without suffix: .npz is appended once, and the returned path
+        # is the file that exists on disk.
+        bare = save_checkpoint(
+            tmp_path / "noext", positions=pos, vorticity=vort, time=0.0, step=0
+        )
+        assert bare == str(tmp_path / "noext.npz")
+        assert os.path.exists(bare)
+        # With suffix: path is used verbatim (no double .npz).
+        exact = save_checkpoint(
+            tmp_path / "has.npz", positions=pos, vorticity=vort, time=0.0, step=0
+        )
+        assert exact == str(tmp_path / "has.npz")
+        assert os.path.exists(exact)
+        assert not os.path.exists(str(tmp_path / "has.npz.npz"))
+
+    def test_non_ascii_metadata_roundtrip(self, tmp_path, surface):
+        pos, _, _ = surface
+        metadata = {"café": "ätwood=0.5", "模型": "ρ–Taylor", "emoji": "🚀"}
+        path = save_checkpoint(
+            tmp_path / "unicode",
+            positions=pos,
+            vorticity=np.zeros(pos.shape[:2] + (2,)),
+            time=0.5,
+            step=7,
+            metadata=metadata,
+        )
+        assert load_checkpoint(path)["metadata"] == metadata
