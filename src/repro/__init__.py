@@ -7,9 +7,10 @@ stack (:mod:`repro.core`), the structured-grid substrate
 (:mod:`repro.grid`), a heFFTe-style distributed FFT (:mod:`repro.fft`),
 an ArborX/CabanaPD-style particle layer (:mod:`repro.spatial`), a
 Silo-style writer (:mod:`repro.io`), an in-process MPI simulator
-(:mod:`repro.mpi`) and a machine performance model (:mod:`repro.machine`)
-used by the benchmark harness to reproduce the paper's 4-to-1024-GPU
-scaling studies.
+(:mod:`repro.mpi`), pluggable compute backends for the dense hot paths
+(:mod:`repro.backend`) and a machine performance model
+(:mod:`repro.machine`) used by the benchmark harness to reproduce the
+paper's 4-to-1024-GPU scaling studies.
 
 Start with :class:`repro.core.Solver` (see ``examples/quickstart.py``) or
 the ``rocketrig`` command-line driver (:mod:`repro.cli.rocketrig`).
@@ -17,4 +18,7 @@ the ``rocketrig`` command-line driver (:mod:`repro.cli.rocketrig`).
 
 __version__ = "1.0.0"
 
-__all__ = ["mpi", "machine", "grid", "fft", "spatial", "io", "core", "util"]
+__all__ = [
+    "mpi", "machine", "grid", "fft", "spatial", "io", "core", "util",
+    "backend",
+]

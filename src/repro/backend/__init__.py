@@ -1,0 +1,53 @@
+"""repro.backend — pluggable compute engines for the dense hot paths.
+
+The solver's hot-path math (BR pair accumulation, spectral Riesz
+application, FFT stages, stencil operators, fused RK3 updates) is
+expressed against the :class:`ArrayBackend` interface and selected by
+name through a registry — `SolverConfig.backend`, `rocketrig
+--backend`, a campaign deck's ``backend`` axis, or the
+``$REPRO_BACKEND`` environment variable all resolve through
+:func:`get_backend`.
+
+Shipped engines:
+
+* ``numpy`` — the reference implementation (the library's original
+  kernel numerics).
+* ``blocked`` — cache-tiled panels, pair-symmetry reuse and BLAS-fused
+  cross-product reductions; ≥2× faster on the exact-BR hot path.
+* ``numba`` — JIT pair loops; registered only when numba is
+  importable (the error message says so otherwise).
+
+All engines record identical roofline :class:`ComputeEvent` totals
+(recording lives in the calling layers, not the backends), so machine-
+model replays are backend-independent by construction.
+"""
+
+from repro.backend.base import ArrayBackend
+from repro.backend.blocked import BlockedBackend
+from repro.backend.numba_backend import NUMBA_AVAILABLE, NumbaBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.registry import (
+    available_backends,
+    default_backend_name,
+    get_backend,
+    mark_unavailable,
+    register_backend,
+)
+
+__all__ = [
+    "ArrayBackend",
+    "BlockedBackend",
+    "NumbaBackend",
+    "NumpyBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+]
+
+register_backend(NumpyBackend())
+register_backend(BlockedBackend())
+if NUMBA_AVAILABLE:  # pragma: no cover - container image has no numba
+    register_backend(NumbaBackend())
+else:
+    mark_unavailable("numba", "install numba to enable the JIT backend")

@@ -1,0 +1,154 @@
+"""The ArrayBackend interface: every dense hot-path kernel in one place.
+
+The solver's compute substrate — Birkhoff-Rott pair accumulation,
+spectral Riesz application, 1D FFT stages, the two-node-deep stencil
+operators and the fused RK3 state updates — is expressed against this
+interface so engines can be swapped the way the paper swaps heFFTe
+communication flags: without touching the physics.  Implementations
+are *pure compute*: they never record trace events (the calling layer
+records identical :class:`~repro.mpi.trace.ComputeEvent` roofline
+totals regardless of which backend ran, so modeled costs stay
+backend-independent) and they hold no per-call mutable state, which
+makes one shared instance safe across the threads of an SPMD run.
+
+Numerical contract
+------------------
+Backends may reorder floating-point reductions (tiling, BLAS, JIT
+loops) but must agree with the ``numpy`` reference to ~1e-12 relative
+accuracy on well-conditioned inputs; ``tests/backend/test_parity.py``
+pins this for every registered backend.  Exactly coincident
+target/source points contribute exactly zero to BR sums (the
+numerator ``ω × (t − s)`` vanishes), and every backend must preserve
+that — it is what makes self-interaction need no special casing.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["ArrayBackend"]
+
+
+class ArrayBackend(abc.ABC):
+    """Abstract compute engine for the dense hot paths.
+
+    Array arguments follow the conventions of the calling modules:
+    BR kernels take flattened ``(n, 3)`` float64 point/vector arrays,
+    stencil operators take full ghosted ``(ni + 4, nj + 4, ...)``
+    arrays and return owned-region results, and the RK3 update works
+    on owned-region views of any shape.
+    """
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+
+    # -- Birkhoff-Rott pair accumulation ----------------------------------
+
+    @abc.abstractmethod
+    def br_allpairs(
+        self,
+        targets: np.ndarray,
+        sources: np.ndarray,
+        omega: np.ndarray,
+        eps2: float,
+        prefactor: float,
+        out: np.ndarray,
+        *,
+        symmetric: bool = False,
+        batch_pairs: int = 2_000_000,
+    ) -> None:
+        """Accumulate dense BR velocities into ``out`` (shape ``(nt, 3)``).
+
+        ``out[i] += prefactor · Σ_j ω_j × (t_i − s_j) / (r² + ε²)^{3/2}``
+
+        ``symmetric=True`` asserts that ``targets`` and ``sources`` are
+        the *same point set* in the same order; backends may exploit the
+        shared pair geometry (``r_ij = r_ji``) to halve the distance
+        work.  It is a hint: ignoring it is always correct.
+        ``batch_pairs`` bounds temporary working-set sizes for backends
+        that evaluate in dense panels.
+        """
+
+    @abc.abstractmethod
+    def br_neighbors(
+        self,
+        targets: np.ndarray,
+        sources: np.ndarray,
+        omega: np.ndarray,
+        offsets: np.ndarray,
+        indices: np.ndarray,
+        eps2: float,
+        prefactor: float,
+        out: np.ndarray,
+        *,
+        batch_pairs: int = 4_000_000,
+    ) -> None:
+        """Accumulate BR velocities over CSR neighbor lists into ``out``.
+
+        ``indices[offsets[t]:offsets[t+1]]`` are the source indices
+        within range of target ``t`` (the cutoff solver's pair lists).
+        """
+
+    # -- spectral kernels --------------------------------------------------
+
+    @abc.abstractmethod
+    def riesz_w3hat(
+        self,
+        g1_hat: np.ndarray,
+        g2_hat: np.ndarray,
+        kx: np.ndarray,
+        ky: np.ndarray,
+    ) -> np.ndarray:
+        """Spectral BR normal velocity ``Ŵ₃ = i (k₁ γ̂₂ − k₂ γ̂₁) / (2|k|)``.
+
+        The ``|k| = 0`` mode maps to zero (the Riesz multiplier has no
+        mean-flow component).
+        """
+
+    def fft1d(self, data: np.ndarray, axis: int) -> np.ndarray:
+        """Complex forward FFT along one axis (norm='backward')."""
+        return np.fft.fft(data, axis=axis)
+
+    def ifft1d(self, data: np.ndarray, axis: int) -> np.ndarray:
+        """Complex inverse FFT along one axis (norm='backward', 1/N)."""
+        return np.fft.ifft(data, axis=axis)
+
+    # -- stencil operators -------------------------------------------------
+
+    @abc.abstractmethod
+    def stencil_dx(self, full: np.ndarray, spacing: float) -> np.ndarray:
+        """4th-order ∂/∂α₁ (axis 0) of a ghosted array, on owned nodes."""
+
+    @abc.abstractmethod
+    def stencil_dy(self, full: np.ndarray, spacing: float) -> np.ndarray:
+        """4th-order ∂/∂α₂ (axis 1) of a ghosted array, on owned nodes."""
+
+    @abc.abstractmethod
+    def stencil_laplacian(
+        self, full: np.ndarray, dx_: float, dy_: float
+    ) -> np.ndarray:
+        """4th-order ∂²/∂α₁² + ∂²/∂α₂² of a ghosted array, on owned nodes."""
+
+    # -- fused state updates -----------------------------------------------
+
+    @abc.abstractmethod
+    def rk3_axpy(
+        self,
+        out: np.ndarray,
+        u: np.ndarray,
+        au: float,
+        u0: np.ndarray,
+        a0: float,
+        du: np.ndarray,
+        adu: float,
+    ) -> None:
+        """Fused RK3 stage update ``out ← au·u + a0·u0 + adu·du``.
+
+        ``out`` may alias ``u`` (the TimeIntegrator always updates the
+        state in place); it never aliases ``u0`` or ``du``.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

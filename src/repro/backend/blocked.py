@@ -1,0 +1,244 @@
+"""The blocked backend: cache-tiled, symmetry-aware, BLAS-fused kernels.
+
+Three optimizations over the numpy reference, all numerics-preserving
+to ~1e-12:
+
+1. **Tiling without broadcast temporaries.**  BR all-pairs blocks are
+   evaluated in ``tile × tile`` panels whose per-coordinate difference
+   matrices replace the reference's ``(nt, ns, 3)`` full-broadcast
+   temporary, and the slow ``r² ** -1.5`` power is replaced by a
+   vectorized ``1 / (r² √r²)``.
+
+2. **Fused cross-product reduction.**  The identity
+   ``Σ_j w_ij ω_j × (t_i − s_j) = (Σ_j w_ij ω_j) × t_i − Σ_j w_ij (ω_j × s_j)``
+   turns the three per-component einsum reductions of the reference
+   into two GEMMs against the single weight matrix ``w = 1/(r²+ε²)^{3/2}``
+   plus one pointwise cross product per target tile.  Coordinates are
+   centered on the source centroid first so the decomposition stays
+   well-conditioned, and exactly-coincident pairs (``r² == ε²`` after
+   the shift) get weight zero — preserving the exact-zero
+   self-interaction of the direct formulation.
+
+3. **Pair symmetry.**  When targets and sources are the same point set
+   (the exact solver's own-block accumulation), the weight panel of
+   tile pair ``(I, J)`` is the transpose of ``(J, I)``, so only the
+   upper triangle of tile pairs is materialized — halving the
+   distance/inverse-root work of the diagonal ring hop.
+
+The CSR neighbor kernel replaces the reference's ``np.add.at`` scatter
+(notoriously slow) with per-component ``np.bincount`` reductions, and
+the stencil / RK3 kernels run on in-place accumulations instead of
+full-expression temporaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+from repro.backend.stencils import check as _check
+from repro.backend.stencils import interior as _interior
+
+__all__ = ["BlockedBackend"]
+
+
+class BlockedBackend(ArrayBackend):
+    """Cache-blocked engine; ``tile`` sets the panel edge (points)."""
+
+    name = "blocked"
+
+    def __init__(self, tile: int = 512) -> None:
+        self.tile = max(16, int(tile))
+
+    # -- Birkhoff-Rott ----------------------------------------------------
+
+    @staticmethod
+    def _weights(t: np.ndarray, s: np.ndarray, eps2: float) -> np.ndarray:
+        """Panel of 1/(r²+ε²)^{3/2}; exactly coincident pairs get 0.
+
+        A squared distance that underflows against ``eps2`` (or is
+        exactly zero when ``eps2 == 0``) marks a self-pair whose true
+        numerator ``ω × (t − s)`` vanishes, so its weight is dropped —
+        required because the fused reduction never forms the numerator.
+        """
+        dc = t[:, 0, None] - s[None, :, 0]
+        r2 = dc * dc
+        dc = t[:, 1, None] - s[None, :, 1]
+        r2 += dc * dc
+        dc = t[:, 2, None] - s[None, :, 2]
+        r2 += dc * dc
+        r2 += eps2
+        coincident = r2 == eps2
+        w = np.sqrt(r2)
+        w *= r2
+        with np.errstate(divide="ignore"):
+            np.divide(1.0, w, out=w)
+        w[coincident] = 0.0
+        return w
+
+    def br_allpairs(
+        self,
+        targets: np.ndarray,
+        sources: np.ndarray,
+        omega: np.ndarray,
+        eps2: float,
+        prefactor: float,
+        out: np.ndarray,
+        *,
+        symmetric: bool = False,
+        batch_pairs: int = 2_000_000,
+    ) -> None:
+        nt, ns = targets.shape[0], sources.shape[0]
+        if nt == 0 or ns == 0:
+            return
+        center = sources.mean(axis=0)
+        tgt = targets - center
+        src = sources - center
+        momega = np.cross(omega, src)                      # ω_j × s'_j
+        b = self.tile
+        scaled = np.zeros((nt, 3))                         # Σ w ω_j  per target
+        carried = np.zeros((nt, 3))                        # Σ w (ω_j × s'_j)
+        if symmetric and nt == ns:
+            for i0 in range(0, nt, b):
+                i1 = min(i0 + b, nt)
+                for j0 in range(i0, ns, b):
+                    j1 = min(j0 + b, ns)
+                    w = self._weights(tgt[i0:i1], src[j0:j1], eps2)
+                    scaled[i0:i1] += w @ omega[j0:j1]
+                    carried[i0:i1] += w @ momega[j0:j1]
+                    if j0 > i0:
+                        wt = w.T
+                        scaled[j0:j1] += wt @ omega[i0:i1]
+                        carried[j0:j1] += wt @ momega[i0:i1]
+        else:
+            for i0 in range(0, nt, b):
+                i1 = min(i0 + b, nt)
+                for j0 in range(0, ns, b):
+                    j1 = min(j0 + b, ns)
+                    w = self._weights(tgt[i0:i1], src[j0:j1], eps2)
+                    scaled[i0:i1] += w @ omega[j0:j1]
+                    carried[i0:i1] += w @ momega[j0:j1]
+        contrib = np.cross(scaled, tgt)
+        contrib -= carried
+        contrib *= prefactor
+        out += contrib
+
+    def br_neighbors(
+        self,
+        targets: np.ndarray,
+        sources: np.ndarray,
+        omega: np.ndarray,
+        offsets: np.ndarray,
+        indices: np.ndarray,
+        eps2: float,
+        prefactor: float,
+        out: np.ndarray,
+        *,
+        batch_pairs: int = 4_000_000,
+    ) -> None:
+        nt = targets.shape[0]
+        total_pairs = int(offsets[-1])
+        counts = np.diff(offsets)
+        pair_target = np.repeat(np.arange(nt, dtype=np.int64), counts)
+        for start in range(0, total_pairs, batch_pairs):
+            stop = min(start + batch_pairs, total_pairs)
+            ti = pair_target[start:stop]
+            sj = indices[start:stop]
+            diff = targets[ti] - sources[sj]                   # (b, 3)
+            r2 = diff[:, 0] * diff[:, 0]
+            r2 += diff[:, 1] * diff[:, 1]
+            r2 += diff[:, 2] * diff[:, 2]
+            r2 += eps2
+            inv = np.sqrt(r2)
+            inv *= r2
+            np.divide(prefactor, inv, out=inv)
+            o = omega[sj]
+            comp = np.empty_like(r2)
+            np.multiply(o[:, 1], diff[:, 2], out=comp)
+            comp -= o[:, 2] * diff[:, 1]
+            comp *= inv
+            out[:, 0] += np.bincount(ti, weights=comp, minlength=nt)
+            np.multiply(o[:, 2], diff[:, 0], out=comp)
+            comp -= o[:, 0] * diff[:, 2]
+            comp *= inv
+            out[:, 1] += np.bincount(ti, weights=comp, minlength=nt)
+            np.multiply(o[:, 0], diff[:, 1], out=comp)
+            comp -= o[:, 1] * diff[:, 0]
+            comp *= inv
+            out[:, 2] += np.bincount(ti, weights=comp, minlength=nt)
+
+    # -- spectral ---------------------------------------------------------
+
+    def riesz_w3hat(
+        self,
+        g1_hat: np.ndarray,
+        g2_hat: np.ndarray,
+        kx: np.ndarray,
+        ky: np.ndarray,
+    ) -> np.ndarray:
+        k2 = kx * kx + ky * ky
+        mult = np.sqrt(k2)
+        zero = k2 == 0.0
+        with np.errstate(divide="ignore"):
+            np.divide(0.5, mult, out=mult)
+        mult[zero] = 0.0
+        out = kx * g2_hat
+        out -= ky * g1_hat
+        out *= mult
+        out *= 1j
+        return out
+
+    # -- stencils ---------------------------------------------------------
+
+    def stencil_dx(self, full: np.ndarray, spacing: float) -> np.ndarray:
+        _check(full)
+        out = _interior(full, -2, 0) - _interior(full, 2, 0)
+        out -= 8.0 * _interior(full, -1, 0)
+        out += 8.0 * _interior(full, 1, 0)
+        out *= 1.0 / (12.0 * spacing)
+        return out
+
+    def stencil_dy(self, full: np.ndarray, spacing: float) -> np.ndarray:
+        _check(full)
+        out = _interior(full, 0, -2) - _interior(full, 0, 2)
+        out -= 8.0 * _interior(full, 0, -1)
+        out += 8.0 * _interior(full, 0, 1)
+        out *= 1.0 / (12.0 * spacing)
+        return out
+
+    def stencil_laplacian(
+        self, full: np.ndarray, dx_: float, dy_: float
+    ) -> np.ndarray:
+        _check(full)
+        mid = _interior(full, 0, 0)
+        d2x = 16.0 * (_interior(full, -1, 0) + _interior(full, 1, 0))
+        d2x -= _interior(full, -2, 0)
+        d2x -= _interior(full, 2, 0)
+        d2x -= 30.0 * mid
+        d2x *= 1.0 / (12.0 * dx_ * dx_)
+        d2y = 16.0 * (_interior(full, 0, -1) + _interior(full, 0, 1))
+        d2y -= _interior(full, 0, -2)
+        d2y -= _interior(full, 0, 2)
+        d2y -= 30.0 * mid
+        d2y *= 1.0 / (12.0 * dy_ * dy_)
+        d2x += d2y
+        return d2x
+
+    # -- fused state updates ----------------------------------------------
+
+    def rk3_axpy(
+        self,
+        out: np.ndarray,
+        u: np.ndarray,
+        au: float,
+        u0: np.ndarray,
+        a0: float,
+        du: np.ndarray,
+        adu: float,
+    ) -> None:
+        if out is u or np.may_share_memory(out, u):
+            out *= au
+        else:
+            np.multiply(u, au, out=out)
+        out += a0 * u0
+        out += adu * du

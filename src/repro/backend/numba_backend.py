@@ -1,0 +1,104 @@
+"""Optional numba backend: JIT pair loops, auto-detected at import.
+
+Registered only when ``numba`` is importable; the container image does
+not ship it, so this module must degrade to a no-op import.  The JIT
+kernels are direct pair loops (no tiling needed — the compiler fuses
+the arithmetic), sharing the reference's exact-zero self-interaction
+semantics.  ``fastmath`` stays off so reductions keep IEEE ordering
+close enough for the 1e-12 cross-backend parity suite.
+
+Only the BR pair kernels are JIT-compiled — the FFT, stencil and axpy
+paths inherit the numpy reference, where numpy is already near the
+memory-bandwidth roof.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.numpy_backend import NumpyBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+except ImportError:  # pragma: no cover
+    numba = None
+
+__all__ = ["NumbaBackend", "NUMBA_AVAILABLE"]
+
+NUMBA_AVAILABLE = numba is not None
+
+_jit_allpairs = None
+_jit_neighbors = None
+
+
+def _compile():  # pragma: no cover - requires numba
+    """Build the JIT kernels once, on first use."""
+    global _jit_allpairs, _jit_neighbors
+    if _jit_allpairs is not None:
+        return
+
+    @numba.njit(parallel=True, cache=True)
+    def allpairs(targets, sources, omega, eps2, prefactor, out):
+        nt = targets.shape[0]
+        ns = sources.shape[0]
+        for i in numba.prange(nt):
+            ax = ay = az = 0.0
+            tx, ty, tz = targets[i, 0], targets[i, 1], targets[i, 2]
+            for j in range(ns):
+                dx = tx - sources[j, 0]
+                dy = ty - sources[j, 1]
+                dz = tz - sources[j, 2]
+                r2 = dx * dx + dy * dy + dz * dz + eps2
+                inv = 1.0 / (r2 * np.sqrt(r2))
+                ax += (omega[j, 1] * dz - omega[j, 2] * dy) * inv
+                ay += (omega[j, 2] * dx - omega[j, 0] * dz) * inv
+                az += (omega[j, 0] * dy - omega[j, 1] * dx) * inv
+            out[i, 0] += prefactor * ax
+            out[i, 1] += prefactor * ay
+            out[i, 2] += prefactor * az
+
+    @numba.njit(parallel=True, cache=True)
+    def neighbors(targets, sources, omega, offsets, indices,
+                  eps2, prefactor, out):
+        nt = targets.shape[0]
+        for i in numba.prange(nt):
+            ax = ay = az = 0.0
+            tx, ty, tz = targets[i, 0], targets[i, 1], targets[i, 2]
+            for p in range(offsets[i], offsets[i + 1]):
+                j = indices[p]
+                dx = tx - sources[j, 0]
+                dy = ty - sources[j, 1]
+                dz = tz - sources[j, 2]
+                r2 = dx * dx + dy * dy + dz * dz + eps2
+                inv = 1.0 / (r2 * np.sqrt(r2))
+                ax += (omega[j, 1] * dz - omega[j, 2] * dy) * inv
+                ay += (omega[j, 2] * dx - omega[j, 0] * dz) * inv
+                az += (omega[j, 0] * dy - omega[j, 1] * dx) * inv
+            out[i, 0] += prefactor * ax
+            out[i, 1] += prefactor * ay
+            out[i, 2] += prefactor * az
+
+    _jit_allpairs = allpairs
+    _jit_neighbors = neighbors
+
+
+class NumbaBackend(NumpyBackend):  # pragma: no cover - requires numba
+    """JIT pair kernels over the numpy reference for everything else."""
+
+    name = "numba"
+
+    def br_allpairs(self, targets, sources, omega, eps2, prefactor, out,
+                    *, symmetric=False, batch_pairs=2_000_000):
+        _compile()
+        _jit_allpairs(targets, sources, omega, float(eps2),
+                      float(prefactor), out)
+
+    def br_neighbors(self, targets, sources, omega, offsets, indices,
+                     eps2, prefactor, out, *, batch_pairs=4_000_000):
+        _compile()
+        _jit_neighbors(
+            targets, sources, omega,
+            np.ascontiguousarray(offsets, dtype=np.int64),
+            np.ascontiguousarray(indices, dtype=np.int64),
+            float(eps2), float(prefactor), out,
+        )

@@ -35,6 +35,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import mpi
+from repro.backend import available_backends, get_backend
 from repro.core import (
     InitialCondition,
     SiloWriter,
@@ -93,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Table-1 configuration index (default 7)")
 
     run = parser.add_argument_group("run")
+    run.add_argument("--backend", "-b", default="auto",
+                     help="compute backend for the dense hot paths "
+                          "(registered engines: "
+                          f"{', '.join(available_backends())}; "
+                          "default: $REPRO_BACKEND or numpy)")
     run.add_argument("--steps", "-t", type=int, default=10)
     run.add_argument("--ranks", "-r", type=int, default=1,
                      help="simulated MPI ranks (default 1)")
@@ -145,7 +151,13 @@ def run_from_args(args: argparse.Namespace) -> dict:
         dt=args.dt,
         br_images=args.br_images,
         fft_config=FftConfig.from_index(args.fft_config),
+        backend=args.backend,
     )
+    # Resolve eagerly so an unknown engine fails before ranks spin up.
+    try:
+        backend_name = get_backend(args.backend).name
+    except ReproError as exc:
+        raise SystemExit(f"rocketrig: {exc}")
     ic = InitialCondition(
         kind=args.ic, magnitude=args.magnitude, period=args.period,
         seed=args.seed,
@@ -171,7 +183,8 @@ def run_from_args(args: argparse.Namespace) -> dict:
     diag, counts = results[0]
 
     print(f"rocketrig: {args.order}-order, {args.ranks} ranks, "
-          f"{args.nodes}x{args.nodes} mesh, {args.steps} steps")
+          f"{args.nodes}x{args.nodes} mesh, {args.steps} steps, "
+          f"{backend_name} backend")
     for key, value in diag.items():
         print(f"  {key:>16}: {value:.6g}")
     if counts is not None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.core.kernels import br_velocity_neighbors
 from repro.core.surface_mesh import SurfaceMesh
 from repro.mpi.comm import Comm
@@ -48,6 +49,7 @@ class CutoffBRSolver:
         cutoff: float,
         spatial_low: tuple[float, float, float],
         spatial_high: tuple[float, float, float],
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
         if cutoff <= 0:
             raise ConfigurationError(f"cutoff must be positive, got {cutoff}")
@@ -55,6 +57,7 @@ class CutoffBRSolver:
         self.mesh = mesh
         self.eps = float(eps)
         self.cutoff = float(cutoff)
+        self.backend = get_backend(backend)
         # Mirror the surface decomposition in the spatial mesh (paper:
         # "2D x/y block decomposition of the 3D space to mirror the
         # initial distribution of 2D surface points").
@@ -115,6 +118,7 @@ class CutoffBRSolver:
                 dA,
                 trace=trace,
                 rank=comm.rank,
+                backend=self.backend,
             )
         with trace.phase("migrate"):
             back = self.migrator.migrate_back(mig, velocity)

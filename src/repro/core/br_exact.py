@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.core.kernels import br_velocity_allpairs
 from repro.core.surface_mesh import SurfaceMesh
 from repro.mpi.comm import Comm
@@ -47,10 +48,12 @@ class ExactBRSolver:
         mesh: SurfaceMesh,
         eps: float,
         periodic_images: bool = False,
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
         self.comm = comm
         self.mesh = mesh
         self.eps = float(eps)
+        self.backend = get_backend(backend)
         self.periodic_images = bool(periodic_images)
         if self.periodic_images and not all(mesh.periodic):
             from repro.util.errors import ConfigurationError
@@ -91,6 +94,9 @@ class ExactBRSolver:
                     sources = block[:, 0:3]
                     if sx or sy:
                         sources = sources + np.array([sx, sy, 0.0])
+                    # Hop 0's unshifted block is this rank's own point
+                    # set: the backend may reuse the symmetric pair
+                    # geometry there.
                     out += br_velocity_allpairs(
                         targets,
                         sources,
@@ -99,6 +105,8 @@ class ExactBRSolver:
                         dA,
                         trace=comm.trace,
                         rank=comm.rank,
+                        backend=self.backend,
+                        symmetric=(hop == 0 and not sx and not sy),
                     )
                 if hop < comm.size - 1 and comm.size > 1:
                     visiting = comm.Sendrecv(

@@ -17,44 +17,25 @@ Two evaluation strategies share this module:
 * :func:`br_velocity_neighbors` — CSR neighbor-list pairs, used by the
   cutoff solver.
 
-Both batch their work to bound peak memory and record roofline compute
-events (≈ 30 flops and 9 reads per pair).
+This module is the *accounting* layer: it validates shapes, resolves
+the compute backend (:mod:`repro.backend`) that does the actual pair
+math, and records the roofline compute events (≈ 30 flops and 9 reads
+per pair).  The recorded totals are a function of the logical pair
+count only — swapping backends (or exploiting the symmetric-block
+shortcut) never changes what the machine model sees.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.util.errors import ConfigurationError
 
 __all__ = ["br_velocity_allpairs", "br_velocity_neighbors", "PAIR_FLOPS"]
 
 PAIR_FLOPS = 30.0  # diff(3) + r² (5) + rsqrt³ (~6) + cross (9) + axpy (7)
 _PAIR_BYTES = 9 * 8.0
-
-
-def _accumulate(
-    out: np.ndarray,
-    targets: np.ndarray,
-    sources: np.ndarray,
-    omega: np.ndarray,
-    eps2: float,
-    prefactor: float,
-) -> None:
-    """out[i] += prefactor * Σ_j ω_j × (t_i − s_j) / (r² + ε²)^{3/2}.
-
-    Dense block evaluation; caller controls block sizes.
-    """
-    diff = targets[:, None, :] - sources[None, :, :]          # (nt, ns, 3)
-    r2 = np.einsum("ijk,ijk->ij", diff, diff) + eps2          # (nt, ns)
-    inv = r2 ** -1.5
-    # cross(ω_j, diff_ij) with ω broadcast over targets
-    cx = omega[None, :, 1] * diff[..., 2] - omega[None, :, 2] * diff[..., 1]
-    cy = omega[None, :, 2] * diff[..., 0] - omega[None, :, 0] * diff[..., 2]
-    cz = omega[None, :, 0] * diff[..., 1] - omega[None, :, 1] * diff[..., 0]
-    out[:, 0] += prefactor * np.einsum("ij,ij->i", cx, inv)
-    out[:, 1] += prefactor * np.einsum("ij,ij->i", cy, inv)
-    out[:, 2] += prefactor * np.einsum("ij,ij->i", cz, inv)
 
 
 def br_velocity_allpairs(
@@ -67,8 +48,16 @@ def br_velocity_allpairs(
     trace=None,
     rank: int = 0,
     batch_pairs: int = 2_000_000,
+    backend: "ArrayBackend | str | None" = None,
+    symmetric: bool = False,
 ) -> np.ndarray:
-    """Dense BR velocity of every target due to every source."""
+    """Dense BR velocity of every target due to every source.
+
+    ``symmetric=True`` tells the backend that ``targets`` and
+    ``sources`` are the same point set in the same order (the exact
+    solver's own-block hop), enabling pair-geometry reuse.
+    """
+    bk = get_backend(backend)
     tgt = np.atleast_2d(np.asarray(targets, dtype=np.float64))
     src = np.atleast_2d(np.asarray(sources, dtype=np.float64))
     om = np.atleast_2d(np.asarray(omega, dtype=np.float64))
@@ -76,17 +65,21 @@ def br_velocity_allpairs(
         raise ConfigurationError(
             f"sources {src.shape} and omega {om.shape} must match"
         )
+    if symmetric and tgt.shape != src.shape:
+        raise ConfigurationError(
+            f"symmetric=True requires matching point sets, got targets "
+            f"{tgt.shape} vs sources {src.shape}"
+        )
     nt, ns = tgt.shape[0], src.shape[0]
     out = np.zeros((nt, 3))
     if nt == 0 or ns == 0:
         return out
     prefactor = dA / (4.0 * np.pi)
     eps2 = float(eps) ** 2
-    # Batch over targets so the (bt, ns) temporaries stay bounded.
-    bt = max(1, min(nt, batch_pairs // max(ns, 1)))
-    for start in range(0, nt, bt):
-        stop = min(start + bt, nt)
-        _accumulate(out[start:stop], tgt[start:stop], src, om, eps2, prefactor)
+    bk.br_allpairs(
+        tgt, src, om, eps2, prefactor, out,
+        symmetric=symmetric, batch_pairs=batch_pairs,
+    )
     if trace is not None:
         pairs = float(nt) * float(ns)
         trace.record_compute(
@@ -109,12 +102,14 @@ def br_velocity_neighbors(
     trace=None,
     rank: int = 0,
     batch_pairs: int = 4_000_000,
+    backend: "ArrayBackend | str | None" = None,
 ) -> np.ndarray:
     """BR velocity summed over CSR neighbor lists (cutoff solver).
 
     ``indices[offsets[t]:offsets[t+1]]`` are the source indices within
     the cutoff of target ``t``.
     """
+    bk = get_backend(backend)
     tgt = np.atleast_2d(np.asarray(targets, dtype=np.float64))
     src = np.atleast_2d(np.asarray(sources, dtype=np.float64))
     om = np.atleast_2d(np.asarray(omega, dtype=np.float64))
@@ -125,21 +120,10 @@ def br_velocity_neighbors(
         return out
     prefactor = dA / (4.0 * np.pi)
     eps2 = float(eps) ** 2
-    counts = np.diff(offsets)
-    pair_target = np.repeat(np.arange(nt, dtype=np.int64), counts)
-    for start in range(0, total_pairs, batch_pairs):
-        stop = min(start + batch_pairs, total_pairs)
-        ti = pair_target[start:stop]
-        sj = indices[start:stop]
-        diff = tgt[ti] - src[sj]                      # (b, 3)
-        r2 = np.einsum("ij,ij->i", diff, diff) + eps2
-        inv = prefactor * r2 ** -1.5
-        o = om[sj]
-        contrib = np.empty_like(diff)
-        contrib[:, 0] = (o[:, 1] * diff[:, 2] - o[:, 2] * diff[:, 1]) * inv
-        contrib[:, 1] = (o[:, 2] * diff[:, 0] - o[:, 0] * diff[:, 2]) * inv
-        contrib[:, 2] = (o[:, 0] * diff[:, 1] - o[:, 1] * diff[:, 0]) * inv
-        np.add.at(out, ti, contrib)
+    bk.br_neighbors(
+        tgt, src, om, offsets, indices, eps2, prefactor, out,
+        batch_pairs=batch_pairs,
+    )
     if trace is not None:
         trace.record_compute(
             "br_neighbors", rank,

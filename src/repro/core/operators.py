@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.util.errors import ConfigurationError
+from repro.backend.stencils import dx, dy, laplacian
 
 __all__ = [
     "dx",
@@ -35,64 +35,9 @@ __all__ = [
     "area_element",
 ]
 
-_HALO = 2
-
-
-def _interior(full: np.ndarray, oi: int, oj: int) -> np.ndarray:
-    """Owned-region view shifted by (oi, oj) nodes (|oi|,|oj| ≤ halo)."""
-    h = _HALO
-    ni = full.shape[0] - 2 * h
-    nj = full.shape[1] - 2 * h
-    return full[h + oi: h + oi + ni, h + oj: h + oj + nj]
-
-
-def _check(full: np.ndarray) -> None:
-    if full.shape[0] < 2 * _HALO + 1 or full.shape[1] < 2 * _HALO + 1:
-        raise ConfigurationError(
-            f"array {full.shape} too small for depth-{_HALO} stencils"
-        )
-
-
-def dx(full: np.ndarray, spacing: float) -> np.ndarray:
-    """4th-order ∂/∂α₁ (axis 0) on owned nodes."""
-    _check(full)
-    return (
-        _interior(full, -2, 0)
-        - 8.0 * _interior(full, -1, 0)
-        + 8.0 * _interior(full, 1, 0)
-        - _interior(full, 2, 0)
-    ) / (12.0 * spacing)
-
-
-def dy(full: np.ndarray, spacing: float) -> np.ndarray:
-    """4th-order ∂/∂α₂ (axis 1) on owned nodes."""
-    _check(full)
-    return (
-        _interior(full, 0, -2)
-        - 8.0 * _interior(full, 0, -1)
-        + 8.0 * _interior(full, 0, 1)
-        - _interior(full, 0, 2)
-    ) / (12.0 * spacing)
-
-
-def laplacian(full: np.ndarray, dx_: float, dy_: float) -> np.ndarray:
-    """4th-order surface-parameter Laplacian ∂²/∂α₁² + ∂²/∂α₂²."""
-    _check(full)
-    d2x = (
-        -_interior(full, -2, 0)
-        + 16.0 * _interior(full, -1, 0)
-        - 30.0 * _interior(full, 0, 0)
-        + 16.0 * _interior(full, 1, 0)
-        - _interior(full, 2, 0)
-    ) / (12.0 * dx_ * dx_)
-    d2y = (
-        -_interior(full, 0, -2)
-        + 16.0 * _interior(full, 0, -1)
-        - 30.0 * _interior(full, 0, 0)
-        + 16.0 * _interior(full, 0, 1)
-        - _interior(full, 0, 2)
-    ) / (12.0 * dy_ * dy_)
-    return d2x + d2y
+# dx / dy / laplacian are re-exported from repro.backend.stencils — the
+# single home of the reference stencil formulas, shared with the compute
+# backends (which must not import the core layer).
 
 
 def cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:

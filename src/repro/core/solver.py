@@ -29,6 +29,7 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.core.br_cutoff import CutoffBRSolver
 from repro.core.br_exact import ExactBRSolver
 from repro.core.initial_conditions import InitialCondition, apply_initial_condition
@@ -60,6 +61,11 @@ class SolverConfig:
     * ``spatial_low/high`` bound the 3D spatial mesh of the cutoff
       solver; unset, they cover the parameter domain horizontally and
       ±25 % of its extent vertically.
+    * ``backend`` selects the compute engine for the dense hot paths
+      (see :mod:`repro.backend`): a registered name such as ``numpy``
+      or ``blocked``, or ``auto`` for ``$REPRO_BACKEND``-or-numpy.
+      Resolution happens when the Solver is built, so a deck can carry
+      engine names that only some machines provide.
     """
 
     num_nodes: tuple[int, int] = (64, 64)
@@ -81,6 +87,7 @@ class SolverConfig:
     spatial_low: Optional[tuple[float, float, float]] = None
     spatial_high: Optional[tuple[float, float, float]] = None
     fft_config: FftConfig = field(default_factory=FftConfig)
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if any(n <= 0 for n in self.num_nodes):
@@ -95,6 +102,18 @@ class SolverConfig:
             )
         if self.cfl <= 0:
             raise ConfigurationError(f"cfl must be positive, got {self.cfl}")
+        if self.eps_factor <= 0:
+            raise ConfigurationError(
+                f"eps_factor must be positive, got {self.eps_factor}"
+            )
+        if self.mu < 0:
+            raise ConfigurationError(
+                f"mu (artificial viscosity) must be >= 0, got {self.mu}"
+            )
+        if not isinstance(self.backend, str) or not self.backend.strip():
+            raise ConfigurationError(
+                f"backend must be a non-empty engine name, got {self.backend!r}"
+            )
 
     # -- derived values -------------------------------------------------------
 
@@ -155,6 +174,8 @@ class Solver:
         self.config = config
         order = Order.parse(config.order)
         self.order = order
+        # One engine instance drives every hot path of this solver.
+        self.backend = get_backend(config.backend)
 
         self.mesh = SurfaceMesh(
             comm, config.low, config.high, config.num_nodes, config.periodic
@@ -165,7 +186,8 @@ class Solver:
         fft = None
         if order in (Order.LOW, Order.MEDIUM):
             fft = DistributedFFT2D(
-                self.mesh.cart, config.num_nodes, config.fft_config
+                self.mesh.cart, config.num_nodes, config.fft_config,
+                backend=self.backend,
             )
         br = None
         if order in (Order.MEDIUM, Order.HIGH):
@@ -174,11 +196,13 @@ class Solver:
                 br = ExactBRSolver(
                     self.mesh.cart, self.mesh, eps,
                     periodic_images=config.br_images,
+                    backend=self.backend,
                 )
             elif config.br_solver == "cutoff":
                 s_low, s_high = config.spatial_bounds()
                 br = CutoffBRSolver(
-                    self.mesh.cart, self.mesh, eps, config.cutoff, s_low, s_high
+                    self.mesh.cart, self.mesh, eps, config.cutoff, s_low, s_high,
+                    backend=self.backend,
                 )
             else:
                 raise ConfigurationError(
@@ -192,8 +216,10 @@ class Solver:
             mu=config.mu,
             bernoulli=config.bernoulli,
         )
-        self.zmodel = ZModel(self.pm, order, params, fft=fft, br_solver=br)
-        self.integrator = TimeIntegrator(self.pm, self.zmodel)
+        self.zmodel = ZModel(
+            self.pm, order, params, fft=fft, br_solver=br, backend=self.backend
+        )
+        self.integrator = TimeIntegrator(self.pm, self.zmodel, backend=self.backend)
         self.dt = config.effective_dt()
         self.time = 0.0
         self.step_count = 0

@@ -48,6 +48,7 @@ from typing import Optional, Protocol
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.core import operators as ops
 from repro.core.problem_manager import ProblemManager
 from repro.fft.dfft import DistributedFFT2D
@@ -124,12 +125,14 @@ class ZModel:
         params: ZModelParameters,
         fft: Optional[DistributedFFT2D] = None,
         br_solver: Optional[BRSolverProtocol] = None,
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
         self.pm = pm
         self.order = Order.parse(order)
         self.params = params
         self.fft = fft
         self.br_solver = br_solver
+        self.backend = get_backend(backend)
         mesh = pm.mesh
         if self.order in (Order.LOW, Order.MEDIUM):
             if fft is None:
@@ -159,10 +162,13 @@ class ZModel:
             g1_hat = self.fft.forward(w_own[..., 0])
             g2_hat = self.fft.forward(w_own[..., 1])
             kx, ky = self.fft.brick_wavenumbers(mesh.global_mesh.extent)
-            kmag = np.sqrt(kx * kx + ky * ky)
-            with np.errstate(divide="ignore", invalid="ignore"):
-                mult = np.where(kmag > 0.0, 0.5 / np.where(kmag > 0, kmag, 1.0), 0.0)
-            w3_hat = 1j * (kx * g2_hat - ky * g1_hat) * mult
+            w3_hat = self.backend.riesz_w3hat(g1_hat, g2_hat, kx, ky)
+            trace.record_compute(
+                "riesz", mesh.rank,
+                flops=12.0 * w3_hat.size,
+                bytes_moved=3.0 * 16 * w3_hat.size,
+                items=w3_hat.size,
+            )
             w3 = self.fft.backward_real(w3_hat)
         out = np.zeros(w3.shape + (3,))
         out[..., 2] = w3
@@ -194,7 +200,9 @@ class ZModel:
         w_own = pm.w.own
 
         with trace.phase("stencil"):
-            t1, t2, normal = ops.surface_normal(z_full, dx_, dy_)
+            t1 = self.backend.stencil_dx(z_full, dx_)
+            t2 = self.backend.stencil_dy(z_full, dy_)
+            normal = ops.cross(t1, t2)
             deth = ops.area_element(normal)
             omega = (
                 w_own[..., 0:1] * t1 + w_own[..., 1:2] * t2
@@ -223,15 +231,19 @@ class ZModel:
         pm.gather_field(phi_full)
 
         with trace.phase("stencil"):
-            dphi1 = ops.dx(phi_full, dx_)[..., 0]
-            dphi2 = ops.dy(phi_full, dy_)[..., 0]
+            dphi1 = self.backend.stencil_dx(phi_full, dx_)[..., 0]
+            dphi2 = self.backend.stencil_dy(phi_full, dy_)[..., 0]
             geom = deth if p.geometric else 1.0
             wdot = np.empty_like(w_own)
             wdot[..., 0] = 2.0 * p.atwood * dphi2 / geom
             wdot[..., 1] = -2.0 * p.atwood * dphi1 / geom
             if p.mu != 0.0:
-                wdot[..., 0] += p.mu * ops.laplacian(w_full[..., 0], dx_, dy_)
-                wdot[..., 1] += p.mu * ops.laplacian(w_full[..., 1], dx_, dy_)
+                wdot[..., 0] += p.mu * self.backend.stencil_laplacian(
+                    w_full[..., 0], dx_, dy_
+                )
+                wdot[..., 1] += p.mu * self.backend.stencil_laplacian(
+                    w_full[..., 1], dx_, dy_
+                )
             trace.record_compute(
                 "vorticity_update", mesh.rank,
                 flops=30.0 * wdot[..., 0].size,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.fft.config import FftConfig
 from repro.fft.layouts import layout_for_stage
 from repro.fft.remap import Remap
@@ -41,12 +42,14 @@ class DistributedFFT2D:
         cart: CartComm,
         global_shape: tuple[int, int],
         config: FftConfig = FftConfig(),
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
         if cart.ndims != 2:
             raise ConfigurationError("DistributedFFT2D requires a 2D CartComm")
         self.cart = cart
         self.global_shape = (int(global_shape[0]), int(global_shape[1]))
         self.config = config
+        self.backend = get_backend(backend)
 
         dims = cart.dims
         shape = self.global_shape
@@ -82,9 +85,11 @@ class DistributedFFT2D:
             )
         trace, rank = self.cart.trace, self.cart.rank
         work = self._to_rows.apply(data)
-        work = fft_along(work, axis=1, trace=trace, rank=rank)
+        work = fft_along(work, axis=1, trace=trace, rank=rank,
+                         backend=self.backend)
         work = self._rows_to_cols.apply(work)
-        work = fft_along(work, axis=0, trace=trace, rank=rank)
+        work = fft_along(work, axis=0, trace=trace, rank=rank,
+                         backend=self.backend)
         return self._cols_to_brick.apply(work)
 
     def backward(self, local: np.ndarray) -> np.ndarray:
@@ -96,9 +101,11 @@ class DistributedFFT2D:
             )
         trace, rank = self.cart.trace, self.cart.rank
         work = self._brick_to_cols.apply(data)
-        work = ifft_along(work, axis=0, trace=trace, rank=rank)
+        work = ifft_along(work, axis=0, trace=trace, rank=rank,
+                          backend=self.backend)
         work = self._cols_to_rows.apply(work)
-        work = ifft_along(work, axis=1, trace=trace, rank=rank)
+        work = ifft_along(work, axis=1, trace=trace, rank=rank,
+                          backend=self.backend)
         return self._rows_to_brick.apply(work)
 
     def backward_real(self, local: np.ndarray) -> np.ndarray:

@@ -1,16 +1,21 @@
-"""Serial FFT kernels and cost accounting.
+"""Serial FFT stage kernels and cost accounting.
 
-Thin wrappers over ``numpy.fft`` that (a) pin the transform conventions
-used across the library and (b) record roofline compute events so the
-machine model can cost the local transform work of each distributed
-stage.  A radix-2 style operation count of ``5 N log2 N`` flops per
-length-``N`` 1D complex transform is the standard estimate (Cooley-
-Tukey), which is all the scaling model needs.
+The accounting layer over the 1D transform stages of the distributed
+FFT: the actual transform is delegated to the selected compute backend
+(:mod:`repro.backend`; the reference calls ``numpy.fft``), while this
+module pins the transform conventions and records the roofline compute
+events so the machine model can cost the local work of each stage
+identically no matter which backend ran.  A radix-2 style operation
+count of ``5 N log2 N`` flops per length-``N`` 1D complex transform is
+the standard estimate (Cooley-Tukey), which is all the scaling model
+needs.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.backend import ArrayBackend, get_backend
 
 __all__ = ["fft_along", "ifft_along", "fft2_serial", "ifft2_serial", "fft_flops"]
 
@@ -22,9 +27,15 @@ def fft_flops(n: int, batch: int) -> float:
     return 5.0 * n * np.log2(n) * batch
 
 
-def fft_along(data: np.ndarray, axis: int, trace=None, rank: int = 0) -> np.ndarray:
+def fft_along(
+    data: np.ndarray,
+    axis: int,
+    trace=None,
+    rank: int = 0,
+    backend: "ArrayBackend | str | None" = None,
+) -> np.ndarray:
     """Complex forward FFT along one axis (norm='backward')."""
-    out = np.fft.fft(data, axis=axis)
+    out = get_backend(backend).fft1d(data, axis)
     if trace is not None:
         n = data.shape[axis]
         batch = data.size // max(n, 1)
@@ -37,9 +48,15 @@ def fft_along(data: np.ndarray, axis: int, trace=None, rank: int = 0) -> np.ndar
     return out
 
 
-def ifft_along(data: np.ndarray, axis: int, trace=None, rank: int = 0) -> np.ndarray:
+def ifft_along(
+    data: np.ndarray,
+    axis: int,
+    trace=None,
+    rank: int = 0,
+    backend: "ArrayBackend | str | None" = None,
+) -> np.ndarray:
     """Complex inverse FFT along one axis (norm='backward': scales 1/N)."""
-    out = np.fft.ifft(data, axis=axis)
+    out = get_backend(backend).ifft1d(data, axis)
     if trace is not None:
         n = data.shape[axis]
         batch = data.size // max(n, 1)

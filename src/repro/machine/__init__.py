@@ -31,7 +31,12 @@ from repro.machine.patterns import (
     stencil_phase,
     step_time,
 )
-from repro.machine.replay import PhaseTime, ReplayResult, replay_trace
+from repro.machine.replay import (
+    PhaseTime,
+    ReplayResult,
+    kernel_breakdown,
+    replay_trace,
+)
 
 __all__ = [
     "LASSEN",
@@ -56,5 +61,6 @@ __all__ = [
     "step_time",
     "PhaseTime",
     "ReplayResult",
+    "kernel_breakdown",
     "replay_trace",
 ]

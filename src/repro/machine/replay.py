@@ -18,7 +18,7 @@ from repro.machine.collectives import collective_time
 from repro.machine.model import MachineSpec
 from repro.mpi.trace import CommTrace
 
-__all__ = ["PhaseTime", "ReplayResult", "replay_trace"]
+__all__ = ["PhaseTime", "ReplayResult", "replay_trace", "kernel_breakdown"]
 
 
 @dataclass
@@ -122,11 +122,38 @@ def replay_trace(
 
     for cev in computes:
         bucket = result._bucket(cev.phase, cev.rank)
-        bucket.compute += spec.compute_time(
-            cev.flops,
-            cev.bytes_moved,
-            strided=(cev.kernel == "fft_strided"),
-            parallelism=float(cev.items) if cev.items > 0 else None,
-        )
+        bucket.compute += _event_time(cev, spec)
 
     return result
+
+
+def _event_time(cev, spec: MachineSpec) -> float:
+    """Roofline seconds of one ComputeEvent (single pricing rule)."""
+    return spec.compute_time(
+        cev.flops,
+        cev.bytes_moved,
+        strided=(cev.kernel == "fft_strided"),
+        parallelism=float(cev.items) if cev.items > 0 else None,
+    )
+
+
+def kernel_breakdown(
+    trace: CommTrace, spec: MachineSpec
+) -> dict[str, dict[str, float]]:
+    """Per-kernel roofline accounting of a trace on a machine.
+
+    Returns ``{kernel: {"flops", "bytes", "items", "count", "time"}}``
+    with totals summed over all ranks and ``time`` the modeled kernel
+    seconds under ``spec``'s roofline.  The flop/byte totals come from
+    the accounting layers and are therefore identical for every compute
+    backend — this is the view the kernel microbenchmark
+    (``benchmarks/bench_kernels.py``) uses to prove that swapping
+    engines changes wall-clock but never modeled work.
+    """
+    totals: dict[str, dict[str, float]] = {
+        kernel: dict(agg) for kernel, agg in trace.compute_totals().items()
+    }
+    for cev in trace.compute_events:
+        bucket = totals[cev.kernel]
+        bucket["time"] = bucket.get("time", 0.0) + _event_time(cev, spec)
+    return totals

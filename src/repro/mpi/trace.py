@@ -209,6 +209,31 @@ class CommTrace:
             result.append(ev)
         return result
 
+    def compute_totals(
+        self, *, phase: Optional[str] = None
+    ) -> dict[str, dict[str, float]]:
+        """Aggregate roofline totals per kernel name.
+
+        Returns ``{kernel: {"flops", "bytes", "items", "count"}}`` summed
+        over all ranks.  Because recording happens in the accounting
+        layers (not the compute backends), these totals are invariant
+        under backend choice — the cross-backend parity suite and the
+        kernel microbenchmarks assert exactly that.
+        """
+        totals: dict[str, dict[str, float]] = {}
+        for ev in self.compute_events:
+            if phase is not None and ev.phase != phase:
+                continue
+            bucket = totals.setdefault(
+                ev.kernel,
+                {"flops": 0.0, "bytes": 0.0, "items": 0.0, "count": 0.0},
+            )
+            bucket["flops"] += ev.flops
+            bucket["bytes"] += ev.bytes_moved
+            bucket["items"] += ev.items
+            bucket["count"] += 1
+        return totals
+
     def phases(self) -> list[str]:
         """Distinct phase labels, in first-appearance order."""
         seen: dict[str, None] = {}

@@ -1,0 +1,267 @@
+"""Cross-backend parity: every engine must match the numpy reference.
+
+The contract (see :mod:`repro.backend.base`): backends may reorder
+floating-point reductions but must agree with the reference to ~1e-12
+relative accuracy, preserve the exact-zero self-interaction of the BR
+quadrature, and record identical roofline ComputeEvent totals.  Every
+registered backend is tested — installing numba automatically enrolls
+the JIT engine here.
+"""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.backend import available_backends, get_backend
+from repro.core import InitialCondition, Solver, SolverConfig
+from repro.core.kernels import br_velocity_allpairs, br_velocity_neighbors
+from repro.spatial.neighbors import neighbor_lists
+from tests.conftest import spmd
+
+RTOL = 1e-12
+
+#: Every non-reference engine (numba joins when importable).
+OTHERS = [b for b in available_backends() if b != "numpy"]
+
+
+def assert_matches(result, reference, context=""):
+    scale = max(float(np.abs(reference).max()), 1e-30)
+    np.testing.assert_allclose(
+        result, reference, rtol=RTOL, atol=RTOL * scale, err_msg=context
+    )
+
+
+def _cloud(rng, n):
+    pts = rng.uniform(-1.5, 1.5, size=(n, 3))
+    om = rng.normal(size=(n, 3))
+    return pts, om
+
+
+@pytest.mark.parametrize("backend", OTHERS)
+class TestKernelParity:
+    def test_allpairs_disjoint_sets(self, backend, rng):
+        tgt, _ = _cloud(rng, 83)
+        src, om = _cloud(rng, 131)
+        ref = br_velocity_allpairs(tgt, src, om, 0.05, 0.2, backend="numpy")
+        got = br_velocity_allpairs(tgt, src, om, 0.05, 0.2, backend=backend)
+        assert_matches(got, ref, f"{backend}: disjoint all-pairs")
+
+    def test_allpairs_coincident_sets_without_hint(self, backend, rng):
+        """targets is sources, but the caller never says so."""
+        pts, om = _cloud(rng, 97)
+        ref = br_velocity_allpairs(pts, pts, om, 0.05, 0.2, backend="numpy")
+        got = br_velocity_allpairs(pts, pts, om, 0.05, 0.2, backend=backend)
+        assert_matches(got, ref, f"{backend}: coincident all-pairs")
+
+    def test_allpairs_symmetric_hint(self, backend, rng):
+        pts, om = _cloud(rng, 600)  # > one tile, odd remainder
+        ref = br_velocity_allpairs(pts, pts, om, 0.05, 0.2, backend="numpy")
+        got = br_velocity_allpairs(
+            pts, pts, om, 0.05, 0.2, backend=backend, symmetric=True
+        )
+        assert_matches(got, ref, f"{backend}: symmetric all-pairs")
+
+    def test_allpairs_self_term_exactly_zero(self, backend):
+        pts = np.array([[0.2, -0.4, 1.0]])
+        om = np.array([[1.0, 2.0, -3.0]])
+        for symmetric in (False, True):
+            out = br_velocity_allpairs(
+                pts, pts, om, 0.1, 1.0, backend=backend, symmetric=symmetric
+            )
+            assert np.all(out == 0.0)
+
+    def test_allpairs_duplicated_points_across_sets(self, backend, rng):
+        """Exact duplicates between distinct target/source arrays."""
+        src, om = _cloud(rng, 40)
+        tgt = src[::2].copy()  # every other target coincides with a source
+        ref = br_velocity_allpairs(tgt, src, om, 0.1, 0.5, backend="numpy")
+        got = br_velocity_allpairs(tgt, src, om, 0.1, 0.5, backend=backend)
+        assert_matches(got, ref, f"{backend}: duplicated points")
+
+    def test_allpairs_empty_sets_are_noops(self, backend, rng):
+        bk = get_backend(backend)
+        tgt, _ = _cloud(rng, 5)
+        empty = np.zeros((0, 3))
+        out = np.zeros((5, 3))
+        bk.br_allpairs(tgt, empty, empty, 0.01, 1.0, out)
+        assert np.all(out == 0.0)
+        out0 = np.zeros((0, 3))
+        bk.br_allpairs(empty, tgt, np.ones_like(tgt), 0.01, 1.0, out0)
+        assert out0.shape == (0, 3)
+
+    def test_neighbors_parity(self, backend, rng):
+        pts, om = _cloud(rng, 150)
+        lists = neighbor_lists(pts, pts, cutoff=1.2)
+        args = (pts, pts, om, lists.offsets, lists.indices, 0.05, 0.3)
+        ref = br_velocity_neighbors(*args, backend="numpy")
+        got = br_velocity_neighbors(*args, backend=backend)
+        assert_matches(got, ref, f"{backend}: neighbors")
+
+    def test_stencils_parity(self, backend, rng):
+        nb = get_backend(backend)
+        ref = get_backend("numpy")
+        full = rng.normal(size=(23, 19, 3))
+        assert_matches(
+            nb.stencil_dx(full, 0.07), ref.stencil_dx(full, 0.07),
+            f"{backend}: dx",
+        )
+        assert_matches(
+            nb.stencil_dy(full, 0.11), ref.stencil_dy(full, 0.11),
+            f"{backend}: dy",
+        )
+        scalar = rng.normal(size=(23, 19))
+        assert_matches(
+            nb.stencil_laplacian(scalar, 0.07, 0.11),
+            ref.stencil_laplacian(scalar, 0.07, 0.11),
+            f"{backend}: laplacian",
+        )
+
+    def test_riesz_parity(self, backend, rng):
+        nb = get_backend(backend)
+        ref = get_backend("numpy")
+        n = 16
+        g1 = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))
+        g2 = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))
+        kx, ky = np.meshgrid(
+            2 * np.pi * np.fft.fftfreq(n, d=0.3),
+            2 * np.pi * np.fft.fftfreq(n, d=0.5),
+            indexing="ij",
+        )
+        got = nb.riesz_w3hat(g1, g2, kx, ky)
+        want = ref.riesz_w3hat(g1, g2, kx, ky)
+        assert_matches(got.real, want.real, f"{backend}: riesz re")
+        assert_matches(got.imag, want.imag, f"{backend}: riesz im")
+        # The k=0 mode must map to exactly zero.
+        assert got[0, 0] == 0.0
+
+    def test_fft1d_parity(self, backend, rng):
+        nb = get_backend(backend)
+        data = rng.normal(size=(12, 9)) + 1j * rng.normal(size=(12, 9))
+        for axis in (0, 1):
+            assert_matches(
+                nb.fft1d(data, axis).real, np.fft.fft(data, axis=axis).real,
+                f"{backend}: fft1d axis {axis}",
+            )
+            assert_matches(
+                nb.ifft1d(data, axis).imag, np.fft.ifft(data, axis=axis).imag,
+                f"{backend}: ifft1d axis {axis}",
+            )
+
+    def test_rk3_axpy_parity_and_aliasing(self, backend, rng):
+        nb = get_backend(backend)
+        ref = get_backend("numpy")
+        u = rng.normal(size=(7, 5, 3))
+        u0 = rng.normal(size=(7, 5, 3))
+        du = rng.normal(size=(7, 5, 3))
+        want = u.copy()
+        ref.rk3_axpy(want, want, 0.25, u0, 0.75, du, 0.003)
+        got = u.copy()
+        nb.rk3_axpy(got, got, 0.25, u0, 0.75, du, 0.003)
+        assert_matches(got, want, f"{backend}: rk3 aliased")
+        # Non-aliased output buffer must work too.
+        out = np.empty_like(u)
+        nb.rk3_axpy(out, u, 0.25, u0, 0.75, du, 0.003)
+        assert_matches(out, want, f"{backend}: rk3 non-aliased")
+
+
+#: (order, br_solver) pairs covering every order and both BR solvers.
+SOLVER_MATRIX = [
+    ("low", "exact"),
+    ("medium", "exact"),
+    ("high", "exact"),
+    ("high", "cutoff"),
+]
+
+
+def _solver_state(backend, order, br_solver, ranks=2):
+    cfg = SolverConfig(
+        num_nodes=(16, 16),
+        low=(-np.pi, -np.pi), high=(np.pi, np.pi),
+        order=order, br_solver=br_solver,
+        cutoff=2.0, dt=0.004, eps=0.1, mu=0.05,
+        backend=backend,
+    )
+    ic = InitialCondition(kind="multi_mode", magnitude=0.05, period=3)
+
+    def program(comm):
+        solver = Solver(comm, cfg, ic)
+        solver.run(3)
+        from repro.core import gather_global_state
+
+        z, w = gather_global_state(solver.pm)
+        diag = solver.diagnostics()
+        return (z, w, diag) if comm.rank == 0 else None
+
+    return spmd(ranks, program)[0]
+
+
+class TestSolverParity:
+    """Full-stack parity: every order and both BR solvers, multi-rank."""
+
+    @pytest.mark.parametrize("backend", OTHERS)
+    @pytest.mark.parametrize("order,br_solver", SOLVER_MATRIX)
+    def test_three_steps_match_reference(self, backend, order, br_solver):
+        z_ref, w_ref, diag_ref = _solver_state("numpy", order, br_solver)
+        z, w, diag = _solver_state(backend, order, br_solver)
+        assert_matches(z, z_ref, f"{backend}/{order}/{br_solver}: positions")
+        assert_matches(w, w_ref, f"{backend}/{order}/{br_solver}: vorticity")
+        for key in ("amplitude", "vorticity_norm"):
+            assert diag[key] == pytest.approx(diag_ref[key], rel=RTOL), (
+                f"{backend}/{order}/{br_solver}: {key}"
+            )
+
+
+class TestComputeEventInvariance:
+    """Roofline totals are a property of the physics, not the engine."""
+
+    @pytest.mark.parametrize("order,br_solver", SOLVER_MATRIX)
+    def test_totals_identical_across_backends(self, order, br_solver):
+        def run(backend):
+            trace = mpi.CommTrace()
+            cfg = SolverConfig(
+                num_nodes=(12, 12), low=(-np.pi, -np.pi), high=(np.pi, np.pi),
+                order=order, br_solver=br_solver, cutoff=2.0,
+                dt=0.004, eps=0.1, mu=0.02, backend=backend,
+            )
+
+            def program(comm):
+                Solver(
+                    comm, cfg, InitialCondition(kind="single_mode",
+                                                magnitude=0.05)
+                ).step()
+
+            spmd(2, program, trace=trace)
+            return trace.compute_totals()
+
+        reference = run("numpy")
+        assert reference, "reference run recorded no compute events"
+        assert "rk3_axpy" in reference  # the integrator accounts its axpys
+        for backend in OTHERS:
+            assert run(backend) == reference, (
+                f"{backend} changed the recorded roofline totals"
+            )
+
+
+class TestDeckBackendAxis:
+    """A campaign deck can sweep the backend axis end-to-end."""
+
+    def test_backend_axis_expands_and_runs(self, tmp_path):
+        from repro.campaign import CampaignDeck, CampaignExecutor, CampaignStore
+
+        deck = CampaignDeck.from_dict({
+            "name": "backend_axis",
+            "mode": "functional",
+            "steps": 2,
+            "base": {"num_nodes": [12, 12], "order": "low", "dt": 0.004},
+            "ic": {"kind": "single_mode", "magnitude": 0.05},
+            "grid": {"backend": ["numpy", "blocked"]},
+        })
+        specs = deck.expand()
+        assert [s.config.backend for s in specs] == ["numpy", "blocked"]
+        assert len({s.run_hash() for s in specs}) == 2  # distinct hashes
+
+        store = CampaignStore(deck.name, root=str(tmp_path))
+        outcomes = CampaignExecutor(store, max_workers=2).submit(specs)
+        assert all(o.status == "completed" for o in outcomes)
+        amps = [o.result["diagnostics"]["amplitude"] for o in outcomes]
+        assert amps[0] == pytest.approx(amps[1], rel=1e-10)
