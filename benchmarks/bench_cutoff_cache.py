@@ -1,0 +1,124 @@
+"""Cutoff-solver Verlet-skin cache benchmark — rebuild vs reuse.
+
+Runs the acceptance workload of ISSUE 3: a high-order 64×64 cutoff run
+with the spatial-structure cache disabled (``skin = 0``, the paper's
+rebuild-every-evaluation pipeline) and enabled (``skin > 0``), and
+checks three properties:
+
+* wall-time speedup of the cached run is **>= 1.5×**,
+* diagnostics agree to 1e-12 (the cache is numerics-preserving), and
+* the cache actually amortizes (reuses dominate rebuilds), with the
+  rebuild/reuse counts reported alongside the modeled amortization the
+  machine model predicts for the same configuration.
+
+The payload lands in ``results/BENCH_cutoff_cache.json``
+(``$REPRO_RESULTS_DIR`` relocates it) and CI uploads it as an artifact.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_cutoff_cache.py -q -s
+"""
+
+import time
+
+import numpy as np
+
+from repro import mpi
+from repro.core import InitialCondition, Solver, SolverConfig
+from repro.machine import LASSEN
+from repro.machine.patterns import cutoff_evaluation, step_time
+
+from common import print_series, save_results
+
+#: Acceptance-criterion workload: high-order 64×64 cutoff run.
+NODES = 64
+CUTOFF = 0.8
+SKIN = 0.1
+STEPS = 5
+RANKS = 1
+
+REQUIRED_SPEEDUP = 1.5
+DIAG_RTOL = 1e-12
+
+IC = InitialCondition(kind="multi_mode", magnitude=0.05, period=4)
+
+
+def _config(skin):
+    return SolverConfig(
+        num_nodes=(NODES, NODES),
+        low=(-np.pi, -np.pi), high=(np.pi, np.pi),
+        order="high", br_solver="cutoff",
+        cutoff=CUTOFF, skin=skin, dt=0.002, eps=0.05,
+    )
+
+
+def _run(skin):
+    config = _config(skin)
+
+    def program(comm):
+        solver = Solver(comm, config, IC)
+        solver.run(STEPS)
+        return solver.diagnostics(), solver.neighbor_cache_stats()
+
+    start = time.perf_counter()
+    diag, stats = mpi.run_spmd(RANKS, program, timeout=3600.0)[0]
+    return time.perf_counter() - start, diag, stats
+
+
+def test_cutoff_cache_speedup():
+    base_s, base_diag, base_stats = _run(0.0)
+    cached_s, cached_diag, cached_stats = _run(SKIN)
+    speedup = base_s / cached_s
+
+    # Numerics-preserving: identical diagnostics to 1e-12.
+    for key in ("amplitude", "vorticity_norm", "time", "steps"):
+        assert np.isclose(
+            cached_diag[key], base_diag[key],
+            rtol=DIAG_RTOL, atol=DIAG_RTOL,
+        ), f"cache changed diagnostic {key!r}"
+
+    # The cache must actually amortize on this workload.
+    assert cached_stats["reuses"] > cached_stats["rebuilds"], cached_stats
+    evaluations = 3 * STEPS
+    assert base_stats == {"rebuilds": evaluations, "reuses": 0}
+
+    # Modeled view of the same amortization (what campaign scheduling
+    # and model-mode runs see).
+    def modeled(skin):
+        return step_time(cutoff_evaluation(
+            RANKS, (NODES, NODES), LASSEN,
+            cutoff=CUTOFF, domain_extent=(2 * np.pi, 2 * np.pi), skin=skin,
+        ))
+
+    modeled_speedup = modeled(0.0) / modeled(SKIN)
+    assert modeled_speedup > 1.0, "machine model misses the amortization"
+
+    payload = {
+        "nodes": NODES, "cutoff": CUTOFF, "skin": SKIN,
+        "steps": STEPS, "ranks": RANKS,
+        "seconds": {"skin_0": base_s, "cached": cached_s},
+        "speedup": speedup,
+        "modeled_speedup": modeled_speedup,
+        "rebuilds": {"skin_0": base_stats["rebuilds"],
+                     "cached": cached_stats["rebuilds"]},
+        "reuses": {"skin_0": base_stats["reuses"],
+                   "cached": cached_stats["reuses"]},
+        "diagnostics": {"skin_0": base_diag, "cached": cached_diag},
+    }
+    path = save_results("BENCH_cutoff_cache", payload)
+    print_series(
+        f"Cutoff neighbor-structure cache ({NODES}x{NODES} high-order, "
+        f"cutoff {CUTOFF}, skin {SKIN})",
+        ["variant", "seconds", "rebuilds", "reuses", "speedup"],
+        [
+            ["skin=0", base_s, base_stats["rebuilds"],
+             base_stats["reuses"], 1.0],
+            [f"skin={SKIN}", cached_s, cached_stats["rebuilds"],
+             cached_stats["reuses"], speedup],
+            ["modeled", "-", "-", "-", modeled_speedup],
+        ],
+    )
+    print(f"payload: {path}")
+
+    # Acceptance gate: >= 1.5x wall-time with identical diagnostics.
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"cutoff cache speedup {speedup:.2f}x < {REQUIRED_SPEEDUP}x"
+    )

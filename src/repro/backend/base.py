@@ -91,6 +91,20 @@ class ArrayBackend(abc.ABC):
         within range of target ``t`` (the cutoff solver's pair lists).
         """
 
+    # -- reductions --------------------------------------------------------
+
+    @abc.abstractmethod
+    def max_displacement(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Max Euclidean distance between corresponding rows of two
+        ``(n, 3)`` point arrays (0.0 when empty).
+
+        The cutoff solver's Verlet-skin cache calls this every
+        derivative evaluation to decide — after a MAX allreduce so all
+        ranks agree — whether the cached spatial structures are still
+        valid.  The reduction must be exact (no tolerance): the cache
+        invariant compares the result against ``skin / 2``.
+        """
+
     # -- spectral kernels --------------------------------------------------
 
     @abc.abstractmethod
@@ -146,8 +160,12 @@ class ArrayBackend(abc.ABC):
     ) -> None:
         """Fused RK3 stage update ``out ← au·u + a0·u0 + adu·du``.
 
-        ``out`` may alias ``u`` (the TimeIntegrator always updates the
-        state in place); it never aliases ``u0`` or ``du``.
+        ``out`` may alias *any* operand — ``u`` (the TimeIntegrator
+        always updates the state in place), ``u0`` or ``du`` — and the
+        result must be as if the right-hand side were fully evaluated
+        first.  Backends that accumulate in place must guard every
+        aliasing combination (pinned by the cross-backend aliasing
+        regression tests).
         """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

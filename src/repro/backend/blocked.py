@@ -167,6 +167,25 @@ class BlockedBackend(ArrayBackend):
             comp *= inv
             out[:, 2] += np.bincount(ti, weights=comp, minlength=nt)
 
+    # -- reductions -------------------------------------------------------
+
+    def max_displacement(self, a: np.ndarray, b: np.ndarray) -> float:
+        n = a.shape[0]
+        if n == 0:
+            return 0.0
+        worst = 0.0
+        chunk = max(self.tile * self.tile, 1)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            d = a[start:stop, 0] - b[start:stop, 0]
+            r2 = d * d
+            d = a[start:stop, 1] - b[start:stop, 1]
+            r2 += d * d
+            d = a[start:stop, 2] - b[start:stop, 2]
+            r2 += d * d
+            worst = max(worst, float(r2.max()))
+        return float(np.sqrt(worst))
+
     # -- spectral ---------------------------------------------------------
 
     def riesz_w3hat(
@@ -236,6 +255,12 @@ class BlockedBackend(ArrayBackend):
         du: np.ndarray,
         adu: float,
     ) -> None:
+        # The in-place accumulation scales ``out`` first, which corrupts
+        # a ``u0``/``du`` operand sharing its memory — fall back to the
+        # materialized right-hand side for those aliasing patterns.
+        if np.may_share_memory(out, u0) or np.may_share_memory(out, du):
+            out[...] = au * u + a0 * u0 + adu * du
+            return
         if out is u or np.may_share_memory(out, u):
             out *= au
         else:

@@ -29,11 +29,12 @@ NUMBA_AVAILABLE = numba is not None
 
 _jit_allpairs = None
 _jit_neighbors = None
+_jit_maxdisp = None
 
 
 def _compile():  # pragma: no cover - requires numba
     """Build the JIT kernels once, on first use."""
-    global _jit_allpairs, _jit_neighbors
+    global _jit_allpairs, _jit_neighbors, _jit_maxdisp
     if _jit_allpairs is not None:
         return
 
@@ -78,8 +79,21 @@ def _compile():  # pragma: no cover - requires numba
             out[i, 1] += prefactor * ay
             out[i, 2] += prefactor * az
 
+    @numba.njit(cache=True)
+    def maxdisp(a, b):
+        worst = 0.0
+        for i in range(a.shape[0]):
+            dx = a[i, 0] - b[i, 0]
+            dy = a[i, 1] - b[i, 1]
+            dz = a[i, 2] - b[i, 2]
+            r2 = dx * dx + dy * dy + dz * dz
+            if r2 > worst:
+                worst = r2
+        return np.sqrt(worst)
+
     _jit_allpairs = allpairs
     _jit_neighbors = neighbors
+    _jit_maxdisp = maxdisp
 
 
 class NumbaBackend(NumpyBackend):  # pragma: no cover - requires numba
@@ -102,3 +116,12 @@ class NumbaBackend(NumpyBackend):  # pragma: no cover - requires numba
             np.ascontiguousarray(indices, dtype=np.int64),
             float(eps2), float(prefactor), out,
         )
+
+    def max_displacement(self, a, b):
+        if a.shape[0] == 0:
+            return 0.0
+        _compile()
+        return float(_jit_maxdisp(
+            np.ascontiguousarray(a, dtype=np.float64),
+            np.ascontiguousarray(b, dtype=np.float64),
+        ))

@@ -105,6 +105,15 @@ class NumpyBackend(ArrayBackend):
             contrib[:, 2] = (o[:, 0] * diff[:, 1] - o[:, 1] * diff[:, 0]) * inv
             np.add.at(out, ti, contrib)
 
+    # -- reductions -------------------------------------------------------
+
+    def max_displacement(self, a: np.ndarray, b: np.ndarray) -> float:
+        if a.shape[0] == 0:
+            return 0.0
+        diff = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+        dist2 = np.einsum("ij,ij->i", diff, diff)
+        return float(np.sqrt(dist2.max()))
+
     # -- spectral ---------------------------------------------------------
 
     def riesz_w3hat(
@@ -144,4 +153,7 @@ class NumpyBackend(ArrayBackend):
         du: np.ndarray,
         adu: float,
     ) -> None:
+        # The right-hand side materializes before the assignment, so any
+        # aliasing of ``out`` with ``u``/``u0``/``du`` is safe by
+        # construction.
         out[...] = au * u + a0 * u0 + adu * du

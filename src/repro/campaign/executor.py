@@ -143,7 +143,13 @@ class CampaignExecutor:
     # -- single runs -----------------------------------------------------------
 
     def run_one(self, spec: RunSpec) -> RunOutcome:
-        """Execute one spec, recording success or failure in the store."""
+        """Execute one spec, recording success or failure in the store.
+
+        Only ``Exception`` counts as a run failure: an interrupt
+        (``KeyboardInterrupt``/``SystemExit``) propagates to the caller
+        without polluting the persistent store — the run simply has no
+        record and retries on the next submission.
+        """
         run_hash = spec.run_hash()
         start = time.perf_counter()
         try:
@@ -151,7 +157,7 @@ class CampaignExecutor:
                 result, resumed = self._run_model(spec), 0
             else:
                 result, resumed = self._run_functional(spec, run_hash)
-        except BaseException:
+        except Exception:
             elapsed = time.perf_counter() - start
             error = traceback.format_exc(limit=20)
             self.store.record_failed(spec, error, elapsed=elapsed)
@@ -178,9 +184,24 @@ class CampaignExecutor:
         ckpt_path = self.store.checkpoint_path(run_hash)
         resume_state = None
         if os.path.exists(ckpt_path):
-            state = load_checkpoint(ckpt_path)
-            if 0 < state["step"] < spec.steps:
-                resume_state = state
+            try:
+                state = load_checkpoint(ckpt_path)
+            except Exception as exc:
+                # A checkpoint a crashed attempt left unreadable must not
+                # wedge the run hash forever: start fresh.
+                self.log(
+                    f"{run_hash} checkpoint unreadable ({exc!r}) — "
+                    f"discarding it and starting fresh"
+                )
+                self._remove_checkpoint(ckpt_path)
+            else:
+                if 0 < state["step"] < spec.steps:
+                    resume_state = state
+                else:
+                    # Resuming is impossible (already at/past the target,
+                    # or a zero-step write); a stale file left in place
+                    # would shadow every future attempt of this hash.
+                    self._remove_checkpoint(ckpt_path)
         resumed_from = resume_state["step"] if resume_state is not None else 0
         freq = self.checkpoint_freq
         if freq > 0:
@@ -206,9 +227,15 @@ class CampaignExecutor:
 
         results = mpi.run_spmd(spec.ranks, program, timeout=self.timeout)
         diagnostics = results[0]
-        if os.path.exists(ckpt_path):
-            os.remove(ckpt_path)
+        self._remove_checkpoint(ckpt_path)
         return {"kind": "functional", "diagnostics": diagnostics}, resumed_from
+
+    @staticmethod
+    def _remove_checkpoint(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
 
     def _run_model(self, spec: RunSpec) -> dict[str, Any]:
         """Paper-scale analytic point on the machine model."""

@@ -70,6 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
                        default="exact", help="Birkhoff-Rott solver")
     model.add_argument("--cutoff", "-c", type=float, default=0.5,
                        help="cutoff distance for the cutoff solver")
+    model.add_argument("--skin", type=float, default=0.0,
+                       help="Verlet skin of the cutoff solver's spatial-"
+                            "structure cache: neighbor lists and comm "
+                            "plans are built at cutoff+skin and reused "
+                            "until points move more than skin/2 "
+                            "(0 = rebuild every evaluation)")
+    model.add_argument("--rebuild-freq", type=int, default=0,
+                       help="force a neighbor-structure rebuild after "
+                            "this many consecutive reuses (0 = "
+                            "displacement-triggered only)")
     model.add_argument("--atwood", "-a", type=float, default=0.5)
     model.add_argument("--gravity", "-g", type=float, default=10.0)
     model.add_argument("--mu", type=float, default=0.0,
@@ -144,6 +154,8 @@ def run_from_args(args: argparse.Namespace) -> dict:
         order=args.order,
         br_solver=args.br_solver,
         cutoff=args.cutoff,
+        skin=args.skin,
+        rebuild_freq=args.rebuild_freq,
         atwood=args.atwood,
         gravity=args.gravity,
         mu=args.mu,
@@ -177,10 +189,10 @@ def run_from_args(args: argparse.Namespace) -> dict:
             solver.br_solver, "ownership_counts"
         ):
             counts = solver.br_solver.ownership_counts()
-        return solver.diagnostics(), counts
+        return solver.diagnostics(), counts, solver.neighbor_cache_stats()
 
     results = mpi.run_spmd(args.ranks, program, trace=trace, timeout=3600.0)
-    diag, counts = results[0]
+    diag, counts, cache_stats = results[0]
 
     print(f"rocketrig: {args.order}-order, {args.ranks} ranks, "
           f"{args.nodes}x{args.nodes} mesh, {args.steps} steps, "
@@ -190,6 +202,9 @@ def run_from_args(args: argparse.Namespace) -> dict:
     if counts is not None:
         stats = ownership_stats(np.asarray(counts))
         print(f"  spatial ownership: {stats.describe()}")
+    if cache_stats is not None and args.skin > 0:
+        print(f"  neighbor cache: {cache_stats['rebuilds']} rebuilds, "
+              f"{cache_stats['reuses']} reuses (skin {args.skin:g})")
     if writer is not None and writer.written:
         print(f"  wrote {len(writer.written)} VTK dumps to {args.outdir}")
     if trace is not None:

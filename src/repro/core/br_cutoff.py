@@ -17,9 +17,32 @@ paper exactly:
 
 The cutoff sets the accuracy/performance tradeoff; the solver has no
 direct tolerance knob (unlike FMM), exactly as the paper discusses.
+
+Verlet-skin structure cache
+---------------------------
+With ``skin > 0`` the expensive spatial structures are built once at
+radius ``cutoff + skin`` — the migration plan, the ghost (halo) plan
+and the CSR neighbor lists — and *reused* across evaluations: the
+exchanges still ship fresh positions/vorticity every evaluation, but
+along the frozen routing, so particles and ghosts arrive in the
+identical merged order and the cached lists stay valid.  Each reuse
+restricts the inflated lists back to ``cutoff`` against the current
+positions, which recovers exactly the pair set a fresh build would
+find as long as no point has moved more than ``skin / 2`` since the
+build.  That invariant is checked every evaluation with a backend
+``max_displacement`` kernel whose result is MAX-allreduced, so every
+rank takes the rebuild branch collectively.  ``rebuild_freq > 0``
+additionally forces a rebuild after that many consecutive reuses.
+
+The check, the restriction and the rebuild/reuse decision are recorded
+under a dedicated ``neighbor_cache`` trace phase (compute events
+``max_displacement`` / ``neighbor_filter``), so trace replay and the
+machine model both see the amortization.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -27,13 +50,36 @@ from repro.backend import ArrayBackend, get_backend
 from repro.core.kernels import br_velocity_neighbors
 from repro.core.surface_mesh import SurfaceMesh
 from repro.mpi.comm import Comm
-from repro.spatial.halo import halo_exchange
-from repro.spatial.migrate import ParticleMigrator
-from repro.spatial.neighbors import neighbor_lists
+from repro.mpi.ops import MAX
+from repro.spatial.halo import HaloPlan, halo_exchange, plan_halo
+from repro.spatial.migrate import MigrationPlan, ParticleMigrator
+from repro.spatial.neighbors import NeighborLists, neighbor_lists, restrict_lists
 from repro.spatial.spatial_mesh import SpatialMesh
 from repro.util.errors import ConfigurationError
+from repro.util.roofline import (
+    DISPLACEMENT_BYTES,
+    DISPLACEMENT_FLOPS,
+    FILTER_BYTES,
+    FILTER_FLOPS,
+    SEARCH_BYTES,
+    SEARCH_CANDIDATE_FACTOR,
+    SEARCH_FLOPS,
+)
 
 __all__ = ["CutoffBRSolver"]
+
+
+@dataclass
+class _SpatialCache:
+    """Frozen spatial structures of one rebuild, valid while the max
+    displacement since ``ref_positions`` stays below ``skin / 2``."""
+
+    migration_plan: MigrationPlan
+    halo_plan: HaloPlan
+    lists: NeighborLists            # built at cutoff + skin
+    pair_targets: np.ndarray        # lists.pair_targets(), cached
+    ref_positions: np.ndarray       # surface-order local snapshot
+    reuses: int = 0                 # consecutive reuses since the build
 
 
 class CutoffBRSolver:
@@ -50,13 +96,23 @@ class CutoffBRSolver:
         spatial_low: tuple[float, float, float],
         spatial_high: tuple[float, float, float],
         backend: "ArrayBackend | str | None" = None,
+        skin: float = 0.0,
+        rebuild_freq: int = 0,
     ) -> None:
         if cutoff <= 0:
             raise ConfigurationError(f"cutoff must be positive, got {cutoff}")
+        if skin < 0:
+            raise ConfigurationError(f"skin must be >= 0, got {skin}")
+        if rebuild_freq < 0:
+            raise ConfigurationError(
+                f"rebuild_freq must be >= 0, got {rebuild_freq}"
+            )
         self.comm = comm
         self.mesh = mesh
         self.eps = float(eps)
         self.cutoff = float(cutoff)
+        self.skin = float(skin)
+        self.rebuild_freq = int(rebuild_freq)
         self.backend = get_backend(backend)
         # Mirror the surface decomposition in the spatial mesh (paper:
         # "2D x/y block decomposition of the 3D space to mirror the
@@ -67,10 +123,44 @@ class CutoffBRSolver:
             mesh.cart.dims,
         )
         self.migrator = ParticleMigrator(comm, self.spatial_mesh)
+        self._cache: _SpatialCache | None = None
         # Diagnostics updated every evaluation (Figures 6/7 read these).
         self.last_owned_count = 0
         self.last_ghost_count = 0
         self.last_pair_count = 0
+        # Cache statistics (benchmarks and campaign reports read these).
+        self.rebuild_count = 0
+        self.reuse_count = 0
+
+    # -- cache policy --------------------------------------------------------
+
+    def cache_stats(self) -> dict[str, int]:
+        """Lifetime rebuild/reuse counts of the Verlet-skin cache."""
+        return {"rebuilds": self.rebuild_count, "reuses": self.reuse_count}
+
+    def _cache_valid(self, positions: np.ndarray) -> bool:
+        """Collective decision: may the cached structures serve this
+        evaluation?  All ranks agree via a MAX allreduce."""
+        cache = self._cache
+        comm = self.comm
+        trace = comm.trace
+        if cache is None or cache.ref_positions.shape != positions.shape:
+            # Every rank sees the same build history, so this branch is
+            # collective without communication.
+            return False
+        if self.rebuild_freq > 0 and cache.reuses >= self.rebuild_freq:
+            return False
+        disp = self.backend.max_displacement(positions, cache.ref_positions)
+        n = positions.shape[0]
+        trace.record_compute(
+            "max_displacement", comm.rank,
+            flops=DISPLACEMENT_FLOPS * max(n, 1),
+            bytes_moved=DISPLACEMENT_BYTES * max(n, 1),
+            items=n,
+        )
+        return comm.allreduce(disp, op=MAX) <= 0.5 * self.skin
+
+    # -- evaluation ----------------------------------------------------------
 
     def compute_velocities(
         self, z_own: np.ndarray, omega_own: np.ndarray
@@ -83,11 +173,31 @@ class CutoffBRSolver:
         dA = self.mesh.cell_area
         trace = comm.trace
 
+        caching = self.skin > 0.0
+        if caching:
+            with trace.phase("neighbor_cache"):
+                reuse = self._cache_valid(positions)
+        else:
+            reuse = False
+
+        cache = self._cache
         with trace.phase("migrate"):
-            mig = self.migrator.migrate(positions, payload)
+            mig_plan = (
+                cache.migration_plan if reuse else self.migrator.plan(positions)
+            )
+            mig = self.migrator.migrate(positions, payload, plan=mig_plan)
         with trace.phase("spatial_halo"):
+            halo_plan = (
+                cache.halo_plan
+                if reuse
+                else plan_halo(
+                    comm.size, self.spatial_mesh, mig.positions,
+                    self.cutoff + self.skin,
+                )
+            )
             ghosts = halo_exchange(
-                comm, self.spatial_mesh, mig.positions, mig.payload, self.cutoff
+                comm, self.spatial_mesh, mig.positions, mig.payload,
+                self.cutoff + self.skin, plan=halo_plan,
             )
         sources = (
             np.concatenate([mig.positions, ghosts.positions])
@@ -99,14 +209,58 @@ class CutoffBRSolver:
             if ghosts.count
             else mig.payload
         )
-        with trace.phase("neighbor"):
-            lists = neighbor_lists(mig.positions, sources, self.cutoff)
-            trace.record_compute(
-                "neighbor_search", comm.rank,
-                flops=10.0 * max(lists.total_neighbors, 1),
-                bytes_moved=24.0 * max(sources.shape[0], 1),
-                items=lists.total_neighbors,
-            )
+
+        if reuse:
+            assert cache is not None
+            skin_lists, pair_targets = cache.lists, cache.pair_targets
+            cache.reuses += 1
+            self.reuse_count += 1
+        else:
+            with trace.phase("neighbor"):
+                skin_lists = neighbor_lists(
+                    mig.positions, sources, self.cutoff + self.skin
+                )
+                candidates = SEARCH_CANDIDATE_FACTOR * max(
+                    skin_lists.total_neighbors, 1
+                )
+                trace.record_compute(
+                    "neighbor_search", comm.rank,
+                    flops=SEARCH_FLOPS * candidates,
+                    bytes_moved=24.0 * max(sources.shape[0], 1)
+                    + SEARCH_BYTES * candidates,
+                    items=skin_lists.total_neighbors,
+                )
+            self.rebuild_count += 1
+            if caching:
+                pair_targets = skin_lists.pair_targets()
+                self._cache = _SpatialCache(
+                    migration_plan=mig_plan,
+                    halo_plan=halo_plan,
+                    lists=skin_lists,
+                    pair_targets=pair_targets,
+                    ref_positions=positions.copy(),
+                )
+
+        if caching:
+            # Restrict the inflated lists back to the physical cutoff
+            # against the *current* positions: exactly the pair set a
+            # fresh build at ``cutoff`` would find.
+            with trace.phase("neighbor_cache"):
+                lists = restrict_lists(
+                    skin_lists, mig.positions, sources, self.cutoff,
+                    pair_targets=pair_targets,
+                )
+                skin_pairs = skin_lists.total_neighbors
+                trace.record_compute(
+                    "neighbor_filter", comm.rank,
+                    flops=FILTER_FLOPS * max(skin_pairs, 1),
+                    bytes_moved=FILTER_BYTES * max(skin_pairs, 1)
+                    + 24.0 * max(sources.shape[0], 1),
+                    items=skin_pairs,
+                )
+        else:
+            lists = skin_lists
+
         with trace.phase("br_compute"):
             velocity = br_velocity_neighbors(
                 mig.positions,

@@ -61,6 +61,13 @@ class SolverConfig:
     * ``spatial_low/high`` bound the 3D spatial mesh of the cutoff
       solver; unset, they cover the parameter domain horizontally and
       ±25 % of its extent vertically.
+    * ``skin`` enables the cutoff solver's Verlet-skin structure cache:
+      neighbor lists and the migration/halo plans are built at
+      ``cutoff + skin`` and reused until the max point displacement
+      exceeds ``skin / 2`` (checked collectively every evaluation).
+      ``0`` disables caching (rebuild every evaluation, the paper's
+      behaviour).  ``rebuild_freq > 0`` additionally forces a rebuild
+      after that many consecutive reuses.
     * ``backend`` selects the compute engine for the dense hot paths
       (see :mod:`repro.backend`): a registered name such as ``numpy``
       or ``blocked``, or ``auto`` for ``$REPRO_BACKEND``-or-numpy.
@@ -83,6 +90,8 @@ class SolverConfig:
     dt: Optional[float] = None
     cfl: float = 0.25
     cutoff: float = 0.5
+    skin: float = 0.0
+    rebuild_freq: int = 0
     br_images: bool = False
     spatial_low: Optional[tuple[float, float, float]] = None
     spatial_high: Optional[tuple[float, float, float]] = None
@@ -96,6 +105,15 @@ class SolverConfig:
             )
         if self.cutoff <= 0:
             raise ConfigurationError(f"cutoff must be positive, got {self.cutoff}")
+        if self.skin < 0:
+            raise ConfigurationError(
+                f"skin must be >= 0 (0 disables the cache), got {self.skin}"
+            )
+        if self.rebuild_freq < 0:
+            raise ConfigurationError(
+                f"rebuild_freq must be >= 0 (0 = displacement-only), "
+                f"got {self.rebuild_freq}"
+            )
         if not 0.0 <= self.atwood <= 1.0:
             raise ConfigurationError(
                 f"atwood must lie in [0, 1], got {self.atwood}"
@@ -203,6 +221,8 @@ class Solver:
                 br = CutoffBRSolver(
                     self.mesh.cart, self.mesh, eps, config.cutoff, s_low, s_high,
                     backend=self.backend,
+                    skin=config.skin,
+                    rebuild_freq=config.rebuild_freq,
                 )
             else:
                 raise ConfigurationError(
@@ -334,6 +354,11 @@ class Solver:
         """Global L2 norm of the vorticity over owned nodes."""
         local = float(np.sum(self.pm.w.own ** 2))
         return math.sqrt(self.comm.allreduce(local))
+
+    def neighbor_cache_stats(self) -> Optional[dict[str, int]]:
+        """Verlet-skin cache rebuild/reuse counts (None without a BR
+        solver that caches — i.e. anything but the cutoff solver)."""
+        return self.zmodel.br_cache_stats()
 
     def diagnostics(self) -> dict[str, float]:
         return {

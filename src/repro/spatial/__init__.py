@@ -4,24 +4,37 @@ Implements the communication machinery of Beatnik's cutoff Birkhoff-
 Rott solver: the 3D spatial mesh with its 2D x/y block decomposition,
 position-based particle migration with exact return routing, cutoff
 ghost (halo) exchange, and cell-list fixed-radius neighbor search.
+Migration and halo routing are separable as reusable *plans*, and
+neighbor lists built at an inflated radius can be restricted back to
+the physical cutoff — together these implement the cutoff solver's
+Verlet-skin structure cache.
 """
 
 from repro.spatial.binning import Binning, CellGrid, bin_points
-from repro.spatial.halo import HaloResult, halo_exchange
-from repro.spatial.migrate import Migration, ParticleMigrator
-from repro.spatial.neighbors import NeighborLists, brute_force_lists, neighbor_lists
+from repro.spatial.halo import HaloPlan, HaloResult, halo_exchange, plan_halo
+from repro.spatial.migrate import Migration, MigrationPlan, ParticleMigrator
+from repro.spatial.neighbors import (
+    NeighborLists,
+    brute_force_lists,
+    neighbor_lists,
+    restrict_lists,
+)
 from repro.spatial.spatial_mesh import SpatialMesh
 
 __all__ = [
     "Binning",
     "CellGrid",
     "bin_points",
+    "HaloPlan",
     "HaloResult",
     "halo_exchange",
+    "plan_halo",
     "Migration",
+    "MigrationPlan",
     "ParticleMigrator",
     "NeighborLists",
     "brute_force_lists",
     "neighbor_lists",
+    "restrict_lists",
     "SpatialMesh",
 ]

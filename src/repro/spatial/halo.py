@@ -11,6 +11,12 @@ checks against a serial all-pairs oracle.
 The exchange is dynamic and irregular: which particles go where depends
 on their evolving spatial positions, which is exactly the communication
 behaviour the single-mode benchmark is designed to stress.
+
+As with migration, the routing (which owned particles are ghosted to
+which blocks) is separable from the exchange as a :class:`HaloPlan`;
+the cutoff solver's Verlet-skin cache builds the plan once at radius
+``cutoff + skin`` and re-executes it with fresh particle data until the
+accumulated displacement invalidates it.
 """
 
 from __future__ import annotations
@@ -23,7 +29,44 @@ from repro.mpi.comm import Comm
 from repro.spatial.spatial_mesh import SpatialMesh
 from repro.util.errors import CommunicationError
 
-__all__ = ["halo_exchange", "HaloResult"]
+__all__ = ["halo_exchange", "plan_halo", "HaloResult", "HaloPlan"]
+
+
+@dataclass(frozen=True)
+class HaloPlan:
+    """Frozen routing of one ghost exchange.
+
+    Attributes
+    ----------
+    point_order:
+        Indices of the owned particles to ship, grouped by destination
+        (a particle near a corner appears once per destination block).
+    bounds:
+        ``(size + 1,)`` chunk bounds into ``point_order`` per destination.
+    npoints:
+        Owned-particle count the plan was built for (validation).
+    """
+
+    point_order: np.ndarray
+    bounds: np.ndarray
+    npoints: int
+
+    @property
+    def sent_copies(self) -> int:
+        return self.point_order.shape[0]
+
+
+def plan_halo(
+    comm_size: int, mesh: SpatialMesh, positions: np.ndarray, cutoff: float
+) -> HaloPlan:
+    """Compute the ghost routing for these positions without communicating."""
+    pos = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+    point_idx, dest_rank = mesh.halo_targets(pos, cutoff)
+    order = np.argsort(dest_rank, kind="stable")
+    bounds = np.searchsorted(dest_rank[order], np.arange(comm_size + 1))
+    return HaloPlan(
+        point_order=point_idx[order], bounds=bounds, npoints=pos.shape[0]
+    )
 
 
 @dataclass
@@ -45,12 +88,16 @@ def halo_exchange(
     positions: np.ndarray,
     payload: np.ndarray,
     cutoff: float,
+    plan: HaloPlan | None = None,
 ) -> HaloResult:
     """Ship copies of near-boundary owned particles to affected blocks.
 
     ``positions``/``payload`` are this rank's owned particles after
     migration.  Returns the ghosts this rank received.  Handles cutoffs
     larger than a block width (copies then travel more than one block).
+    Passing a cached ``plan`` re-executes that exchange's routing on the
+    updated data, so ghosts arrive in the identical merged order as when
+    the plan was built.
     """
     if mesh.nblocks != comm.size:
         raise CommunicationError(
@@ -66,14 +113,18 @@ def halo_exchange(
         )
     k = pay.shape[1]
 
-    point_idx, dest_rank = mesh.halo_targets(pos, cutoff)
-    record = np.concatenate([pos[point_idx], pay[point_idx]], axis=1)
+    if plan is None:
+        plan = plan_halo(comm.size, mesh, pos, cutoff)
+    elif plan.npoints != pos.shape[0]:
+        raise CommunicationError(
+            f"halo plan covers {plan.npoints} particles, got {pos.shape[0]}"
+        )
+    sorted_rec = np.concatenate(
+        [pos[plan.point_order], pay[plan.point_order]], axis=1
+    )
 
     per_dest: list[np.ndarray | None] = []
-    order = np.argsort(dest_rank, kind="stable")
-    sorted_rec = record[order]
-    sorted_dst = dest_rank[order]
-    bounds = np.searchsorted(sorted_dst, np.arange(comm.size + 1))
+    bounds = plan.bounds
     for dest in range(comm.size):
         chunk = sorted_rec[bounds[dest]: bounds[dest + 1]]
         per_dest.append(chunk if chunk.size else None)
@@ -87,5 +138,5 @@ def halo_exchange(
     return HaloResult(
         positions=merged[:, 0:3].copy(),
         payload=merged[:, 3:].copy(),
-        sent_copies=int(point_idx.shape[0]),
+        sent_copies=int(plan.sent_copies),
     )

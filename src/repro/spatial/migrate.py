@@ -10,6 +10,13 @@ index) so :meth:`ParticleMigrator.migrate_back` is exact regardless of
 how the exchange reordered particles.  The communication is a single
 ``exchange_arrays`` (alltoallv-equivalent) each way, which is also what
 the machine model costs for the ``migrate`` phase.
+
+The routing computation (owner lookup + stable grouping by destination)
+is separable from the exchange as a :class:`MigrationPlan`, so callers
+that know the ownership has not meaningfully changed (the cutoff
+solver's Verlet-skin cache) can re-execute the same exchange with
+updated particle data and receive particles in the *identical* merged
+order — the property that keeps cached neighbor lists valid.
 """
 
 from __future__ import annotations
@@ -22,7 +29,30 @@ from repro.mpi.comm import Comm
 from repro.spatial.spatial_mesh import SpatialMesh
 from repro.util.errors import CommunicationError
 
-__all__ = ["ParticleMigrator", "Migration"]
+__all__ = ["ParticleMigrator", "Migration", "MigrationPlan"]
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """Frozen routing of one migrate call: who goes where, in what order.
+
+    Attributes
+    ----------
+    owners:
+        ``(n,)`` destination rank per local particle (at plan time).
+    order:
+        Stable argsort of ``owners`` — the send order of particles.
+    bounds:
+        ``(size + 1,)`` chunk bounds into ``order`` per destination.
+    """
+
+    owners: np.ndarray
+    order: np.ndarray
+    bounds: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return self.owners.shape[0]
 
 
 @dataclass
@@ -64,11 +94,29 @@ class ParticleMigrator:
         self.comm = comm
         self.mesh = mesh
 
-    def migrate(self, positions: np.ndarray, payload: np.ndarray) -> Migration:
+    def plan(self, positions: np.ndarray) -> MigrationPlan:
+        """Compute the routing for these positions without communicating."""
+        pos = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+        n = pos.shape[0]
+        owners = self.mesh.owner_of(pos) if n else np.empty(0, dtype=np.int64)
+        order = np.argsort(owners, kind="stable") if n else np.empty(0, dtype=np.int64)
+        bounds = np.searchsorted(owners[order], np.arange(self.comm.size + 1))
+        return MigrationPlan(owners=owners, order=order, bounds=bounds)
+
+    def migrate(
+        self,
+        positions: np.ndarray,
+        payload: np.ndarray,
+        plan: MigrationPlan | None = None,
+    ) -> Migration:
         """Send every particle to its spatial owner; receive mine.
 
         ``positions`` is ``(n, 3)``; ``payload`` is ``(n, k)`` (``k`` may
         be 0).  Returns the particles this rank now owns spatially.
+        Passing a cached ``plan`` re-executes that exchange's routing on
+        the updated data (positions are *not* re-assigned to owners), so
+        every rank receives the same particles in the same order as when
+        the plan was built.
         """
         comm = self.comm
         pos = np.atleast_2d(np.asarray(positions, dtype=np.float64))
@@ -80,7 +128,12 @@ class ParticleMigrator:
             raise CommunicationError(
                 f"payload rows {pay.shape[0]} != positions rows {n}"
             )
-        owners = self.mesh.owner_of(pos) if n else np.empty(0, dtype=np.int64)
+        if plan is None:
+            plan = self.plan(pos)
+        elif plan.count != n:
+            raise CommunicationError(
+                f"migration plan covers {plan.count} particles, got {n}"
+            )
         # Record: [x y z | payload... | src_rank src_index]
         record = np.empty((n, 3 + pay.shape[1] + 2), dtype=np.float64)
         record[:, 0:3] = pos
@@ -89,10 +142,8 @@ class ParticleMigrator:
         record[:, -1] = np.arange(n, dtype=np.float64)
 
         per_dest: list[np.ndarray | None] = []
-        order = np.argsort(owners, kind="stable") if n else np.empty(0, dtype=np.int64)
-        sorted_rec = record[order]
-        sorted_owner = owners[order]
-        bounds = np.searchsorted(sorted_owner, np.arange(comm.size + 1))
+        sorted_rec = record[plan.order]
+        bounds = plan.bounds
         for dest in range(comm.size):
             chunk = sorted_rec[bounds[dest]: bounds[dest + 1]]
             per_dest.append(chunk if chunk.size else None)

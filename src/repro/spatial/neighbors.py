@@ -20,7 +20,12 @@ import numpy as np
 from repro.spatial.binning import Binning, CellGrid, bin_points
 from repro.util.errors import ConfigurationError
 
-__all__ = ["neighbor_lists", "brute_force_lists", "NeighborLists"]
+__all__ = [
+    "neighbor_lists",
+    "brute_force_lists",
+    "restrict_lists",
+    "NeighborLists",
+]
 
 
 class NeighborLists:
@@ -44,6 +49,12 @@ class NeighborLists:
 
     def counts(self) -> np.ndarray:
         return np.diff(self.offsets)
+
+    def pair_targets(self) -> np.ndarray:
+        """Target index of every CSR pair (``total_neighbors`` long)."""
+        return np.repeat(
+            np.arange(self.num_targets, dtype=np.int64), self.counts()
+        )
 
 
 _OFFSETS_27 = np.array(
@@ -146,6 +157,43 @@ def neighbor_lists(
     )
     offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
     return NeighborLists(offsets, indices)
+
+
+def restrict_lists(
+    lists: NeighborLists,
+    targets: np.ndarray,
+    sources: np.ndarray,
+    cutoff: float,
+    *,
+    pair_targets: np.ndarray | None = None,
+) -> NeighborLists:
+    """Filter lists built at an inflated radius down to ``cutoff``.
+
+    The Verlet-skin reuse step: ``lists`` was built at ``cutoff + skin``
+    against earlier positions; re-evaluating the pair distances against
+    the *current* ``targets``/``sources`` and keeping ``r <= cutoff``
+    recovers exactly the pair set a fresh build at ``cutoff`` would find,
+    provided no point has moved more than ``skin / 2`` since the build.
+    ``pair_targets`` (``lists.pair_targets()``) can be cached by the
+    caller to skip the repeat expansion.
+    """
+    if cutoff <= 0:
+        raise ConfigurationError(f"cutoff must be positive, got {cutoff}")
+    if pair_targets is None:
+        pair_targets = lists.pair_targets()
+    idx = lists.indices
+    # Component-wise accumulation: three 1-D gathers per side instead of
+    # two (pairs, 3) fancy-indexing temporaries.
+    d = targets[pair_targets, 0] - sources[idx, 0]
+    dist2 = d * d
+    d = targets[pair_targets, 1] - sources[idx, 1]
+    dist2 += d * d
+    d = targets[pair_targets, 2] - sources[idx, 2]
+    dist2 += d * d
+    keep = dist2 <= cutoff * cutoff
+    counts = np.bincount(pair_targets[keep], minlength=lists.num_targets)
+    offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    return NeighborLists(offsets, idx[keep])
 
 
 def brute_force_lists(

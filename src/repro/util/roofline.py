@@ -1,0 +1,36 @@
+"""Shared roofline conventions of the cutoff neighbor pipeline.
+
+One home for the per-item flop/byte constants of the neighbor-search,
+Verlet-cache and filter kernels, imported by both the accounting layer
+(:mod:`repro.core.br_cutoff`, which records the ComputeEvents) and the
+analytic machine model (:mod:`repro.machine.patterns`, which prices the
+same work at paper scale).  Keeping them in a leaf module preserves the
+layering: the machine model never imports the functional solver.
+
+The cell-list search inspects the whole 27-cell neighborhood to keep
+the inscribed sphere — ``27 / (4π/3) ≈ 6.45`` candidates per kept
+pair — which is precisely the work the Verlet-skin cache amortizes:
+the reuse-path filter touches only the (inflated) kept pairs.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "SEARCH_CANDIDATE_FACTOR",
+    "SEARCH_FLOPS",
+    "SEARCH_BYTES",
+    "DISPLACEMENT_FLOPS",
+    "DISPLACEMENT_BYTES",
+    "FILTER_FLOPS",
+    "FILTER_BYTES",
+]
+
+SEARCH_CANDIDATE_FACTOR = 27.0 / (4.0 * math.pi / 3.0)
+SEARCH_FLOPS = 10.0        # per candidate pair
+SEARCH_BYTES = 8.0         # per candidate pair (index + coordinate traffic)
+DISPLACEMENT_FLOPS = 8.0   # per point
+DISPLACEMENT_BYTES = 6 * 8.0
+FILTER_FLOPS = 8.0         # per inflated pair
+FILTER_BYTES = 8.0

@@ -163,6 +163,43 @@ class TestKernelParity:
         nb.rk3_axpy(out, u, 0.25, u0, 0.75, du, 0.003)
         assert_matches(out, want, f"{backend}: rk3 non-aliased")
 
+    def test_max_displacement_parity(self, backend, rng):
+        nb = get_backend(backend)
+        ref = get_backend("numpy")
+        a = rng.normal(size=(733, 3))
+        b = a + 1e-3 * rng.normal(size=a.shape)
+        assert nb.max_displacement(a, b) == pytest.approx(
+            ref.max_displacement(a, b), rel=RTOL
+        )
+        # Identical inputs give exactly zero; empty inputs are a no-op.
+        assert nb.max_displacement(a, a.copy()) == 0.0
+        empty = np.zeros((0, 3))
+        assert nb.max_displacement(empty, empty) == 0.0
+
+
+#: Regression for the aliasing bug: every engine (the reference too)
+#: must compute the fused update as if the RHS were fully materialized,
+#: no matter which operand ``out`` shares memory with.
+@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("alias", ["u", "u0", "du", "none"])
+def test_rk3_axpy_aliasing_matrix(backend, alias, rng):
+    bk = get_backend(backend)
+    u = rng.normal(size=(6, 4, 3))
+    u0 = rng.normal(size=(6, 4, 3))
+    du = rng.normal(size=(6, 4, 3))
+    coeffs = (0.25, 0.75, 0.003)
+    want = coeffs[0] * u + coeffs[1] * u0 + coeffs[2] * du
+    operands = {"u": u.copy(), "u0": u0.copy(), "du": du.copy()}
+    out = operands[alias] if alias != "none" else np.empty_like(u)
+    bk.rk3_axpy(
+        out, operands["u"], coeffs[0], operands["u0"], coeffs[1],
+        operands["du"], coeffs[2],
+    )
+    np.testing.assert_allclose(
+        out, want, rtol=RTOL, atol=RTOL,
+        err_msg=f"{backend}: rk3_axpy corrupts when out aliases {alias}",
+    )
+
 
 #: (order, br_solver) pairs covering every order and both BR solvers.
 SOLVER_MATRIX = [

@@ -141,3 +141,117 @@ class TestExecutorResume:
         assert outcome.status == "completed"
         assert outcome.resumed_from_step == 0
         assert outcome.result["diagnostics"]["steps"] == 3
+
+
+def _truncate(path, keep=0.5):
+    blob = open(path, "rb").read()
+    with open(path, "wb") as fh:
+        fh.write(blob[: int(len(blob) * keep)])
+
+
+class TestInterruptHardening:
+    """Interrupts and torn checkpoints must neither pollute the store
+    nor wedge a run hash (ISSUE 3 bugfixes)."""
+
+    def _spec(self, steps=6, ranks=1):
+        return RunSpec(config=CONFIG, ic=IC, ranks=ranks, steps=steps)
+
+    def test_truncated_checkpoint_starts_fresh(self, tmp_path):
+        """An unreadable checkpoint is discarded with a warning and the
+        run restarts from scratch — it used to crash the run forever."""
+        reference = run_straight(1, 4)
+        spec = self._spec(steps=4, ranks=1)
+        store = CampaignStore("torn", root=str(tmp_path))
+        ck = write_checkpoint(store.checkpoint_path(spec.run_hash()), 1, 2)
+        _truncate(ck)
+        logs = []
+        executor = CampaignExecutor(store, max_workers=1, log=logs.append)
+        (outcome,) = executor.submit([spec])
+        assert outcome.status == "completed"
+        assert outcome.resumed_from_step == 0
+        assert any("unreadable" in line for line in logs)
+        assert not os.path.exists(store.checkpoint_path(spec.run_hash()))
+        for key in reference:
+            assert np.isclose(
+                outcome.result["diagnostics"][key], reference[key], rtol=1e-12
+            ), key
+
+    def test_stale_checkpoint_file_is_removed(self, tmp_path):
+        """A checkpoint that cannot seed a resume (step >= steps) is
+        deleted at detection time, not left to shadow future attempts."""
+        spec = self._spec(steps=3, ranks=1)
+        store = CampaignStore("shadow", root=str(tmp_path))
+        ck = write_checkpoint(store.checkpoint_path(spec.run_hash()), 1, 7)
+        assert os.path.exists(ck)
+        (outcome,) = CampaignExecutor(store, max_workers=1).submit([spec])
+        assert outcome.status == "completed" and outcome.resumed_from_step == 0
+        assert not os.path.exists(ck)
+
+    @pytest.mark.parametrize("interrupt", [KeyboardInterrupt, SystemExit])
+    def test_interrupt_propagates_without_store_record(
+        self, tmp_path, monkeypatch, interrupt
+    ):
+        """Ctrl-C / SystemExit must escape run_one — not be recorded as
+        a run *failure* in the persistent store (it used to be)."""
+        store = CampaignStore("intr", root=str(tmp_path))
+        executor = CampaignExecutor(store, max_workers=1)
+        monkeypatch.setattr(
+            CampaignExecutor, "_run_functional",
+            lambda self, spec, run_hash: (_ for _ in ()).throw(interrupt()),
+        )
+        with pytest.raises(interrupt):
+            executor.run_one(self._spec())
+        assert list(store.iter_records()) == []
+
+    def test_real_exception_is_still_recorded(self, tmp_path, monkeypatch):
+        store = CampaignStore("fail", root=str(tmp_path))
+        executor = CampaignExecutor(store, max_workers=1)
+        monkeypatch.setattr(
+            CampaignExecutor, "_run_functional",
+            lambda self, spec, run_hash: (_ for _ in ()).throw(
+                RuntimeError("kaboom")
+            ),
+        )
+        outcome = executor.run_one(self._spec())
+        assert outcome.status == "failed" and "kaboom" in outcome.error
+        records = list(store.iter_records())
+        assert len(records) == 1 and records[0].status == "failed"
+
+    def test_crash_resume_end_to_end(self, tmp_path):
+        """The full interrupted-campaign story: a run is killed right
+        after writing a checkpoint (which the kill then tears), the
+        interrupt reaches the operator uncorrupted, and resubmission
+        recovers with a clean fresh start matching an uninterrupted
+        reference."""
+        reference = run_straight(1, 6)
+        spec = self._spec(steps=6, ranks=1)
+        store = CampaignStore("crash", root=str(tmp_path))
+        executor = CampaignExecutor(store, max_workers=1, checkpoint_freq=2)
+
+        real_save = Solver.save_checkpoint
+        with pytest.MonkeyPatch.context() as mp:
+            def save_then_die(solver, path):
+                out = real_save(solver, path)
+                raise KeyboardInterrupt  # operator hits Ctrl-C mid-campaign
+            mp.setattr(Solver, "save_checkpoint", save_then_die)
+            with pytest.raises(KeyboardInterrupt):
+                executor.submit([spec])
+
+        # The interrupt left a checkpoint behind but no index record.
+        ck = store.checkpoint_path(spec.run_hash())
+        assert os.path.exists(ck)
+        assert list(store.iter_records()) == []
+
+        # The kill also tore the file (worst case): resubmission must
+        # fall back to a clean fresh start, not crash on the torn .npz.
+        _truncate(ck)
+        (outcome,) = CampaignExecutor(store, max_workers=1).submit([spec])
+        assert outcome.status == "completed"
+        assert outcome.resumed_from_step == 0
+        assert not os.path.exists(ck)
+        for key in reference:
+            assert np.isclose(
+                outcome.result["diagnostics"][key], reference[key], rtol=1e-12
+            ), key
+        record = store.latest_records()[spec.run_hash()]
+        assert record.status == "completed"

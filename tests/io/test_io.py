@@ -134,3 +134,65 @@ class TestCheckpoint:
             metadata=metadata,
         )
         assert load_checkpoint(path)["metadata"] == metadata
+
+
+class TestAtomicCheckpoint:
+    """save_checkpoint must never leave a truncated file at the target
+    path — an interrupted write either keeps the previous checkpoint
+    intact or leaves nothing (bugfix: in-place writes used to leave
+    unreadable .npz files that wedged campaign resume)."""
+
+    def _save(self, path, pos, step=1):
+        return save_checkpoint(
+            path, positions=pos, vorticity=np.zeros(pos.shape[:2] + (2,)),
+            time=0.1 * step, step=step,
+        )
+
+    def test_failed_write_preserves_previous_checkpoint(
+        self, tmp_path, surface, monkeypatch
+    ):
+        pos, _, _ = surface
+        path = self._save(tmp_path / "ck.npz", pos, step=3)
+        import numpy as _np
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(_np, "savez_compressed", explode)
+        with pytest.raises(RuntimeError, match="disk full"):
+            self._save(tmp_path / "ck.npz", pos, step=4)
+        # The old complete checkpoint survives, readable.
+        assert load_checkpoint(path)["step"] == 3
+        # No temporary files linger in the directory.
+        assert sorted(os.listdir(tmp_path)) == ["ck.npz"]
+
+    def test_failed_first_write_leaves_nothing(
+        self, tmp_path, surface, monkeypatch
+    ):
+        pos, _, _ = surface
+        import numpy as _np
+
+        monkeypatch.setattr(
+            _np, "savez_compressed",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        with pytest.raises(RuntimeError):
+            self._save(tmp_path / "fresh.npz", pos)
+        assert os.listdir(tmp_path) == []
+
+    def test_overwrite_is_complete_replacement(self, tmp_path, surface):
+        pos, _, _ = surface
+        path = self._save(tmp_path / "ck.npz", pos, step=1)
+        self._save(tmp_path / "ck.npz", pos * 2.0, step=2)
+        data = load_checkpoint(path)
+        assert data["step"] == 2
+        np.testing.assert_array_equal(data["positions"], pos * 2.0)
+
+    def test_truncated_file_fails_to_load(self, tmp_path, surface):
+        pos, _, _ = surface
+        path = self._save(tmp_path / "ck.npz", pos)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        with pytest.raises(Exception):
+            load_checkpoint(path)
