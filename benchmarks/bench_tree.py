@@ -1,0 +1,227 @@
+"""Barnes-Hut tree solver benchmark — speed and accuracy vs. cutoff.
+
+Runs the acceptance workload of ISSUE 4 on the 128x128 non-periodic
+high-order rocket rig and checks three properties:
+
+* **>= 3x wall time over the cutoff solver at matched diagnostic
+  error**: from one shared rolled-up state, the tree solver
+  (theta = 0.5) must run a timestep at least 3x faster than the cutoff
+  solver (cutoff = 0.8) *while its single-evaluation velocity error
+  against the exact solver is no worse* — in practice it is orders of
+  magnitude better, because the cutoff solver drops the slowly-decaying
+  far field entirely while the tree solver merely coarsens it.
+* **theta -> 0 convergence**: on a 48x48 run, full-run diagnostics of
+  the tree solver converge monotonically to the exact solver's values
+  as theta decreases, reaching agreement at theta = 0 (the walk then
+  degenerates to exact pair sums).
+* The interaction counts actually shrink (far + near pairs well below
+  the exact solver's N^2), so the speedup comes from the algorithm,
+  not noise.
+
+The payload lands in ``results/BENCH_tree.json`` (``$REPRO_RESULTS_DIR``
+relocates it) and CI uploads it as an artifact.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_tree.py -q -s
+"""
+
+import time
+
+import numpy as np
+
+from repro import mpi
+from repro.core import InitialCondition, Solver, SolverConfig
+from repro.core.diagnostics import gather_global_state
+
+from common import print_series, save_results
+
+#: Acceptance-criterion workload: high-order 128x128 non-periodic run.
+NODES = 128
+CUTOFF = 0.8
+THETA = 0.5
+LEAF_SIZE = 32
+WARMUP_STEPS = 3
+STEPS = 1
+RANKS = 1
+
+REQUIRED_SPEEDUP = 3.0
+
+#: Convergence sweep (smaller mesh so the exact reference stays cheap).
+SWEEP_NODES = 48
+SWEEP_STEPS = 2
+SWEEP_THETAS = (0.7, 0.3, 0.0)
+
+IC = InitialCondition(kind="multi_mode", magnitude=0.05, period=4)
+
+
+def _config(nodes, **overrides):
+    return SolverConfig(
+        num_nodes=(nodes, nodes),
+        low=(-np.pi, -np.pi), high=(np.pi, np.pi),
+        periodic=(False, False), order="high",
+        dt=0.002, eps=0.05, **overrides,
+    )
+
+
+def _warm_state():
+    """A rolled-up 128x128 state shared by every candidate solver.
+
+    Which solver produces it is irrelevant (all candidates evaluate the
+    *same* state); the tree solver at a loose theta is simply the
+    cheapest way to get vorticity onto the sheet.
+    """
+    config = _config(NODES, br_solver="tree", theta=0.7, leaf_size=LEAF_SIZE)
+
+    def program(comm):
+        solver = Solver(comm, config, IC)
+        solver.run(WARMUP_STEPS)
+        z, w = gather_global_state(solver.pm)
+        return {
+            "positions": z, "vorticity": w,
+            "time": solver.time, "step": solver.step_count,
+        }
+
+    return mpi.run_spmd(RANKS, program, timeout=3600.0)[0]
+
+
+def _eval_velocity(state, config):
+    """One derivative evaluation from the shared state: (W, seconds)."""
+
+    def program(comm):
+        solver = Solver.from_checkpoint(comm, config, state, IC)
+        start = time.perf_counter()
+        W, _ = solver.zmodel.compute_derivatives()
+        return W, time.perf_counter() - start
+
+    return mpi.run_spmd(RANKS, program, timeout=3600.0)[0]
+
+
+def _timed_run(state, config):
+    """STEPS timesteps from the shared state: (seconds, diag, stats)."""
+
+    def program(comm):
+        solver = Solver.from_checkpoint(comm, config, state, IC)
+        start = time.perf_counter()
+        solver.run(STEPS)
+        elapsed = time.perf_counter() - start
+        stats = None
+        if hasattr(solver.br_solver, "interaction_stats"):
+            stats = solver.br_solver.interaction_stats()
+        return elapsed, solver.diagnostics(), stats
+
+    return mpi.run_spmd(RANKS, program, timeout=3600.0)[0]
+
+
+def test_tree_speedup_at_matched_error():
+    state = _warm_state()
+
+    # Accuracy: single-evaluation velocity error against the exact
+    # solver on the identical state.  The blocked backend computes the
+    # O(N^2) reference ~10x faster with 1e-12-level parity.
+    W_exact, exact_s = _eval_velocity(
+        state, _config(NODES, br_solver="exact", backend="blocked")
+    )
+    ref_norm = float(np.linalg.norm(W_exact))
+    assert ref_norm > 0.0, "reference velocity field is degenerate"
+
+    W_cut, _ = _eval_velocity(state, _config(NODES, br_solver="cutoff",
+                                             cutoff=CUTOFF))
+    W_tree, _ = _eval_velocity(
+        state, _config(NODES, br_solver="tree", theta=THETA,
+                       leaf_size=LEAF_SIZE)
+    )
+    err_cut = float(np.linalg.norm(W_cut - W_exact)) / ref_norm
+    err_tree = float(np.linalg.norm(W_tree - W_exact)) / ref_norm
+
+    # Matched diagnostic error: the tree run may not be less accurate
+    # than the cutoff run it is racing.
+    assert err_tree <= err_cut, (
+        f"tree error {err_tree:.3e} worse than cutoff error {err_cut:.3e}"
+    )
+
+    # Speed: full timesteps (all phases included) from the same state.
+    cut_s, cut_diag, _ = _timed_run(state, _config(NODES, br_solver="cutoff",
+                                                   cutoff=CUTOFF))
+    tree_s, tree_diag, tree_stats = _timed_run(
+        state, _config(NODES, br_solver="tree", theta=THETA,
+                       leaf_size=LEAF_SIZE)
+    )
+    speedup = cut_s / tree_s
+
+    # The speedup must come from doing asymptotically less work.
+    n_total = NODES * NODES
+    assert tree_stats["far_pairs"] + tree_stats["near_pairs"] < n_total ** 2 / 10
+
+    payload = {
+        "nodes": NODES, "cutoff": CUTOFF, "theta": THETA,
+        "leaf_size": LEAF_SIZE, "steps": STEPS, "ranks": RANKS,
+        "seconds": {"cutoff": cut_s, "tree": tree_s,
+                    "exact_eval_blocked": exact_s},
+        "speedup": speedup,
+        "velocity_error_vs_exact": {"cutoff": err_cut, "tree": err_tree},
+        "tree_interactions": tree_stats,
+        "diagnostics": {"cutoff": cut_diag, "tree": tree_diag},
+    }
+    path = save_results("BENCH_tree", payload)
+    print_series(
+        f"Tree vs cutoff BR solver ({NODES}x{NODES} high-order "
+        f"non-periodic, {STEPS} step)",
+        ["solver", "seconds", "rel W error", "speedup"],
+        [
+            [f"cutoff={CUTOFF}", cut_s, err_cut, 1.0],
+            [f"tree theta={THETA}", tree_s, err_tree, speedup],
+        ],
+    )
+    print(f"payload: {path}")
+
+    # Acceptance gate: >= 3x wall time at no worse diagnostic error.
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"tree speedup {speedup:.2f}x < {REQUIRED_SPEEDUP}x"
+    )
+
+
+def test_theta_convergence_to_exact():
+    """Full-run diagnostics converge to the exact solver as theta -> 0."""
+
+    def run(config):
+        def program(comm):
+            solver = Solver(comm, config, IC)
+            solver.run(SWEEP_STEPS)
+            return solver.diagnostics()
+
+        return mpi.run_spmd(RANKS, program, timeout=3600.0)[0]
+
+    exact = run(_config(SWEEP_NODES, br_solver="exact"))
+
+    def diag_error(diag):
+        return max(
+            abs(diag["amplitude"] - exact["amplitude"])
+            / max(abs(exact["amplitude"]), 1e-30),
+            abs(diag["vorticity_norm"] - exact["vorticity_norm"])
+            / max(abs(exact["vorticity_norm"]), 1e-30),
+        )
+
+    errors = {}
+    for theta in SWEEP_THETAS:
+        diag = run(_config(SWEEP_NODES, br_solver="tree", theta=theta,
+                           leaf_size=LEAF_SIZE))
+        errors[theta] = diag_error(diag)
+
+    rows = [[theta, errors[theta]] for theta in SWEEP_THETAS]
+    print_series(
+        f"Tree diagnostics error vs exact ({SWEEP_NODES}x{SWEEP_NODES}, "
+        f"{SWEEP_STEPS} steps)",
+        ["theta", "max rel diag error"], rows,
+    )
+
+    payload = save_results(
+        "BENCH_tree_convergence",
+        {"nodes": SWEEP_NODES, "steps": SWEEP_STEPS,
+         "errors": {str(t): errors[t] for t in SWEEP_THETAS}},
+    )
+    print(f"payload: {payload}")
+
+    # theta = 0 degenerates to exact pair sums: agreement to roundoff
+    # accumulated over the run.
+    assert errors[0.0] < 1e-10, errors
+    # Error decreases monotonically as theta tightens.
+    assert errors[0.0] <= errors[0.3] <= errors[0.7], errors

@@ -1,15 +1,24 @@
 """The ArrayBackend interface: every dense hot-path kernel in one place.
 
-The solver's compute substrate — Birkhoff-Rott pair accumulation,
-spectral Riesz application, 1D FFT stages, the two-node-deep stencil
-operators and the fused RK3 state updates — is expressed against this
-interface so engines can be swapped the way the paper swaps heFFTe
-communication flags: without touching the physics.  Implementations
-are *pure compute*: they never record trace events (the calling layer
-records identical :class:`~repro.mpi.trace.ComputeEvent` roofline
-totals regardless of which backend ran, so modeled costs stay
-backend-independent) and they hold no per-call mutable state, which
-makes one shared instance safe across the threads of an SPMD run.
+The solver's compute substrate — Birkhoff-Rott pair accumulation
+(dense, CSR-neighbor and Barnes-Hut far-field), tree moment
+reductions, spectral Riesz application, 1D FFT stages, the
+two-node-deep stencil operators and the fused RK3 state updates — is
+expressed against this interface so engines can be swapped the way the
+paper swaps heFFTe communication flags: without touching the physics.
+Implementations are *pure compute*: they never record trace events
+(the calling layer records identical
+:class:`~repro.mpi.trace.ComputeEvent` roofline totals regardless of
+which backend ran, so modeled costs stay backend-independent) and they
+hold no per-call mutable state, which makes one shared instance safe
+across the threads of an SPMD run.
+
+Every kernel docstring states its array shapes, dtypes and aliasing
+rules; unless a kernel says otherwise, arguments are contiguous
+float64 arrays, inputs are read-only, and an ``out`` accumulator must
+not alias any input (:meth:`ArrayBackend.rk3_axpy` is the deliberate
+exception — its contract *requires* aliasing tolerance, the lesson of
+the cross-backend aliasing regression suite).
 
 Numerical contract
 ------------------
@@ -89,6 +98,103 @@ class ArrayBackend(abc.ABC):
 
         ``indices[offsets[t]:offsets[t+1]]`` are the source indices
         within range of target ``t`` (the cutoff solver's pair lists).
+        """
+
+    # -- Barnes-Hut tree kernels ------------------------------------------
+
+    def moment_accumulate(
+        self,
+        positions: np.ndarray,
+        omega: np.ndarray,
+        cell_ids: np.ndarray,
+        centers: np.ndarray,
+        ncells: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-cell far-field vorticity moments (tree leaf reduction).
+
+        Parameters
+        ----------
+        positions / omega:
+            ``(n, 3)`` float64 source points and vorticity vectors.
+        cell_ids:
+            ``(n,)`` int64 leaf-cell id per source, in ``[0, ncells)``.
+        centers:
+            ``(ncells, 3)`` float64 expansion centers (leaf centroids).
+
+        Returns ``(M, S, Q)`` with shapes ``(ncells, 3)``,
+        ``(ncells, 3)`` and ``(ncells, 3, 3)``:
+
+        * ``M[c] = sum omega_j`` over sources in cell ``c``,
+        * ``S[c] = sum omega_j x (s_j - centers[c])``,
+        * ``Q[c] = sum omega_j (x) (s_j - centers[c])`` (outer product,
+          ``Q[c, a, b] = sum omega_j[a] * (s_j - centers[c])[b]``).
+
+        Like :meth:`fft1d`, this has a concrete reference
+        implementation: an O(n) bincount reduction that already runs at
+        the memory-bandwidth roof, so engines only override it when
+        they can beat that (the JIT backend fuses the arithmetic).
+        Inputs are never written; the returned arrays are fresh.
+        """
+        d = positions - centers[cell_ids]
+        cross = np.cross(omega, d)
+        outer = omega[:, :, None] * d[:, None, :]
+        m = np.empty((ncells, 3))
+        s = np.empty((ncells, 3))
+        q = np.empty((ncells, 3, 3))
+        for a in range(3):
+            m[:, a] = np.bincount(
+                cell_ids, weights=omega[:, a], minlength=ncells
+            )
+            s[:, a] = np.bincount(
+                cell_ids, weights=cross[:, a], minlength=ncells
+            )
+            for b in range(3):
+                q[:, a, b] = np.bincount(
+                    cell_ids, weights=outer[:, a, b], minlength=ncells
+                )
+        return m, s, q
+
+    @abc.abstractmethod
+    def farfield_eval(
+        self,
+        targets: np.ndarray,
+        centers: np.ndarray,
+        moment_m: np.ndarray,
+        moment_s: np.ndarray,
+        moment_q: np.ndarray,
+        pair_targets: np.ndarray,
+        pair_nodes: np.ndarray,
+        eps2: float,
+        prefactor: float,
+        out: np.ndarray,
+        *,
+        batch_pairs: int = 4_000_000,
+    ) -> None:
+        """Accumulate far-field (multipole) BR velocities into ``out``.
+
+        For every accepted (target, node) pair ``p``, with
+        ``r = targets[pair_targets[p]] - centers[pair_nodes[p]]`` and
+        ``u = |r|^2 + eps2``::
+
+            out[pair_targets[p]] += prefactor * (
+                u**-1.5 * (M x r - S) + 3 * u**-2.5 * (Q r) x r
+            )
+
+        — the first-order multipole expansion of the desingularized BR
+        kernel around the node centroid (see :mod:`repro.spatial.tree`
+        for the derivation and the moment definitions).
+
+        Shapes and dtypes: ``targets`` ``(nt, 3)`` float64; ``centers``
+        / ``moment_m`` / ``moment_s`` ``(nn, 3)`` float64; ``moment_q``
+        ``(nn, 3, 3)`` float64; ``pair_targets`` / ``pair_nodes``
+        ``(p,)`` int64 with entries in ``[0, nt)`` / ``[0, nn)``;
+        ``out`` ``(nt, 3)`` float64, accumulated in place.
+
+        Aliasing rules: ``out`` must not alias any input array (the
+        caller always passes a dedicated accumulator); the node-table
+        inputs are read-only and a node id may appear in any number of
+        pairs.  ``batch_pairs`` bounds the gathered temporaries for
+        engines that evaluate in flat batches.
         """
 
     # -- reductions --------------------------------------------------------

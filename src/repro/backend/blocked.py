@@ -167,6 +167,55 @@ class BlockedBackend(ArrayBackend):
             comp *= inv
             out[:, 2] += np.bincount(ti, weights=comp, minlength=nt)
 
+    # -- Barnes-Hut tree kernels ------------------------------------------
+
+    def farfield_eval(
+        self,
+        targets: np.ndarray,
+        centers: np.ndarray,
+        moment_m: np.ndarray,
+        moment_s: np.ndarray,
+        moment_q: np.ndarray,
+        pair_targets: np.ndarray,
+        pair_nodes: np.ndarray,
+        eps2: float,
+        prefactor: float,
+        out: np.ndarray,
+        *,
+        batch_pairs: int = 4_000_000,
+    ) -> None:
+        # Same bincount-scatter strategy as the CSR neighbor kernel:
+        # np.add.at is the reference semantics but notoriously slow.
+        nt = targets.shape[0]
+        total = int(pair_targets.shape[0])
+        for start in range(0, total, batch_pairs):
+            stop = min(start + batch_pairs, total)
+            ti = pair_targets[start:stop]
+            ni = pair_nodes[start:stop]
+            r = targets[ti] - centers[ni]                     # (b, 3)
+            u = r[:, 0] * r[:, 0]
+            u += r[:, 1] * r[:, 1]
+            u += r[:, 2] * r[:, 2]
+            u += eps2
+            root = np.sqrt(u)
+            g = root * u                                      # u^{3/2}
+            np.divide(prefactor, g, out=g)
+            h = u * u * root                                  # u^{5/2}
+            np.divide(3.0 * prefactor, h, out=h)
+            m = moment_m[ni]
+            s = moment_s[ni]
+            qr = np.einsum("bij,bj->bi", moment_q[ni], r)
+            contrib = np.cross(m, r)
+            contrib -= s
+            contrib *= g[:, None]
+            qxr = np.cross(qr, r)
+            qxr *= h[:, None]
+            contrib += qxr
+            for axis in range(3):
+                out[:, axis] += np.bincount(
+                    ti, weights=contrib[:, axis], minlength=nt
+                )
+
     # -- reductions -------------------------------------------------------
 
     def max_displacement(self, a: np.ndarray, b: np.ndarray) -> float:

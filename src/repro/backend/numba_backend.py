@@ -30,11 +30,12 @@ NUMBA_AVAILABLE = numba is not None
 _jit_allpairs = None
 _jit_neighbors = None
 _jit_maxdisp = None
+_jit_farfield = None
 
 
 def _compile():  # pragma: no cover - requires numba
     """Build the JIT kernels once, on first use."""
-    global _jit_allpairs, _jit_neighbors, _jit_maxdisp
+    global _jit_allpairs, _jit_neighbors, _jit_maxdisp, _jit_farfield
     if _jit_allpairs is not None:
         return
 
@@ -91,9 +92,41 @@ def _compile():  # pragma: no cover - requires numba
                 worst = r2
         return np.sqrt(worst)
 
+    @numba.njit(cache=True)
+    def farfield(targets, centers, m, s, q, pair_targets, pair_nodes,
+                 eps2, prefactor, out):
+        # Serial scatter loop: pairs for one target are not contiguous,
+        # so a prange over pairs would race on ``out``.
+        for p in range(pair_targets.shape[0]):
+            i = pair_targets[p]
+            c = pair_nodes[p]
+            rx = targets[i, 0] - centers[c, 0]
+            ry = targets[i, 1] - centers[c, 1]
+            rz = targets[i, 2] - centers[c, 2]
+            u = rx * rx + ry * ry + rz * rz + eps2
+            root = np.sqrt(u)
+            g = 1.0 / (u * root)
+            h = 3.0 / (u * u * root)
+            qrx = q[c, 0, 0] * rx + q[c, 0, 1] * ry + q[c, 0, 2] * rz
+            qry = q[c, 1, 0] * rx + q[c, 1, 1] * ry + q[c, 1, 2] * rz
+            qrz = q[c, 2, 0] * rx + q[c, 2, 1] * ry + q[c, 2, 2] * rz
+            out[i, 0] += prefactor * (
+                g * (m[c, 1] * rz - m[c, 2] * ry - s[c, 0])
+                + h * (qry * rz - qrz * ry)
+            )
+            out[i, 1] += prefactor * (
+                g * (m[c, 2] * rx - m[c, 0] * rz - s[c, 1])
+                + h * (qrz * rx - qrx * rz)
+            )
+            out[i, 2] += prefactor * (
+                g * (m[c, 0] * ry - m[c, 1] * rx - s[c, 2])
+                + h * (qrx * ry - qry * rx)
+            )
+
     _jit_allpairs = allpairs
     _jit_neighbors = neighbors
     _jit_maxdisp = maxdisp
+    _jit_farfield = farfield
 
 
 class NumbaBackend(NumpyBackend):  # pragma: no cover - requires numba
@@ -114,6 +147,17 @@ class NumbaBackend(NumpyBackend):  # pragma: no cover - requires numba
             targets, sources, omega,
             np.ascontiguousarray(offsets, dtype=np.int64),
             np.ascontiguousarray(indices, dtype=np.int64),
+            float(eps2), float(prefactor), out,
+        )
+
+    def farfield_eval(self, targets, centers, moment_m, moment_s, moment_q,
+                      pair_targets, pair_nodes, eps2, prefactor, out,
+                      *, batch_pairs=4_000_000):
+        _compile()
+        _jit_farfield(
+            targets, centers, moment_m, moment_s, moment_q,
+            np.ascontiguousarray(pair_targets, dtype=np.int64),
+            np.ascontiguousarray(pair_nodes, dtype=np.int64),
             float(eps2), float(prefactor), out,
         )
 

@@ -105,6 +105,40 @@ class NumpyBackend(ArrayBackend):
             contrib[:, 2] = (o[:, 0] * diff[:, 1] - o[:, 1] * diff[:, 0]) * inv
             np.add.at(out, ti, contrib)
 
+    # -- Barnes-Hut tree kernels ------------------------------------------
+
+    def farfield_eval(
+        self,
+        targets: np.ndarray,
+        centers: np.ndarray,
+        moment_m: np.ndarray,
+        moment_s: np.ndarray,
+        moment_q: np.ndarray,
+        pair_targets: np.ndarray,
+        pair_nodes: np.ndarray,
+        eps2: float,
+        prefactor: float,
+        out: np.ndarray,
+        *,
+        batch_pairs: int = 4_000_000,
+    ) -> None:
+        total = int(pair_targets.shape[0])
+        for start in range(0, total, batch_pairs):
+            stop = min(start + batch_pairs, total)
+            ti = pair_targets[start:stop]
+            ni = pair_nodes[start:stop]
+            r = targets[ti] - centers[ni]                     # (b, 3)
+            u = np.einsum("ij,ij->i", r, r) + eps2
+            g = u ** -1.5
+            h = 3.0 * u ** -2.5
+            qr = np.einsum("bij,bj->bi", moment_q[ni], r)
+            contrib = g[:, None] * (
+                np.cross(moment_m[ni], r) - moment_s[ni]
+            )
+            contrib += h[:, None] * np.cross(qr, r)
+            contrib *= prefactor
+            np.add.at(out, ti, contrib)
+
     # -- reductions -------------------------------------------------------
 
     def max_displacement(self, a: np.ndarray, b: np.ndarray) -> float:

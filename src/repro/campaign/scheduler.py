@@ -22,6 +22,7 @@ from repro.machine.patterns import (
     exact_evaluation,
     low_order_evaluation,
     step_time,
+    tree_evaluation,
 )
 from repro.util.errors import ConfigurationError
 
@@ -54,6 +55,11 @@ def evaluation_model(spec: RunSpec, machine: MachineSpec = LASSEN):
         return cutoff_evaluation(
             spec.ranks, shape, machine, cutoff=cfg.cutoff, domain_extent=extent,
             skin=cfg.skin, reuse_interval=interval,
+        )
+    if cfg.br_solver == "tree":
+        return tree_evaluation(
+            spec.ranks, shape, machine,
+            theta=cfg.theta, leaf_size=cfg.leaf_size,
         )
     return exact_evaluation(spec.ranks, shape, machine)
 

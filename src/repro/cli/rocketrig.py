@@ -13,6 +13,8 @@ Examples::
     rocketrig --nodes 32 --order high --br-solver cutoff --cutoff 0.8 \\
               --free-boundaries --ic single_mode --magnitude 0.12 \\
               --steps 30 --ranks 4 --outdir results/rig
+    rocketrig --nodes 128 --order high --br-solver tree --theta 0.5 \\
+              --free-boundaries --steps 10 --trace
 
 Batch campaigns (``rocketrig campaign``) run a whole sweep deck through
 the :mod:`repro.campaign` subsystem: runs execute concurrently in
@@ -41,6 +43,7 @@ from repro.core import (
     SiloWriter,
     Solver,
     SolverConfig,
+    available_br_solvers,
     ownership_stats,
 )
 from repro.fft import FftConfig
@@ -49,12 +52,48 @@ from repro.util.errors import ReproError
 
 __all__ = ["main", "build_parser", "run_from_args", "run_campaign_from_args"]
 
+#: Initial-condition kinds, shared by the parser choices and the help
+#: epilog so the two cannot drift apart.
+IC_CHOICES = ("single_mode", "multi_mode", "sech2", "gaussian", "flat")
+
+
+def _epilog() -> str:
+    """Worked examples for ``--help``, generated from the registries.
+
+    Every flag below exists in the parser (the CLI test suite runs
+    these exact lines through ``parse_args``), and the solver/backend
+    lists come from the same registries that drive dispatch.
+    """
+    return f"""\
+examples:
+  rocketrig --nodes 64 --order low --ic multi_mode --steps 20
+  rocketrig --nodes 32 --order high --br-solver cutoff --cutoff 0.8 \\
+            --free-boundaries --ic single_mode --magnitude 0.12 \\
+            --steps 30 --ranks 4 --outdir results/rig
+  rocketrig --nodes 128 --order high --br-solver tree --theta 0.5 \\
+            --free-boundaries --ic multi_mode --steps 10 --trace
+  rocketrig campaign examples/decks/smoke.json --workers 4
+
+initial conditions (--ic): {", ".join(IC_CHOICES)} (default multi_mode)
+BR solvers (--br-solver):  {", ".join(available_br_solvers())} (default exact)
+compute backends (--backend): {", ".join(available_backends())} \
+(default: $REPRO_BACKEND or numpy)
+
+Run --list-solvers / --list-backends to print the registries and exit.
+"""
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rocketrig",
         description="Beatnik rocket-rig benchmark driver (Python reproduction)",
+        epilog=_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument("--list-solvers", action="store_true",
+                        help="print the registered BR solvers and exit")
+    parser.add_argument("--list-backends", action="store_true",
+                        help="print the registered compute backends and exit")
     mesh = parser.add_argument_group("mesh")
     mesh.add_argument("--nodes", "-n", type=int, default=64,
                       help="surface mesh nodes per dimension (default 64)")
@@ -66,7 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     model = parser.add_argument_group("model")
     model.add_argument("--order", "-o", choices=("low", "medium", "high"),
                        default="low", help="Z-Model order (default low)")
-    model.add_argument("--br-solver", choices=("exact", "cutoff"),
+    model.add_argument("--br-solver", choices=tuple(available_br_solvers()),
                        default="exact", help="Birkhoff-Rott solver")
     model.add_argument("--cutoff", "-c", type=float, default=0.5,
                        help="cutoff distance for the cutoff solver")
@@ -80,6 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="force a neighbor-structure rebuild after "
                             "this many consecutive reuses (0 = "
                             "displacement-triggered only)")
+    model.add_argument("--theta", type=float, default=0.5,
+                       help="tree solver multipole-acceptance criterion "
+                            "in [0, 1): a node is evaluated through its "
+                            "moments when size <= theta * distance "
+                            "(0 = exact pair sums; default 0.5)")
+    model.add_argument("--leaf-size", type=int, default=32,
+                       help="tree solver points per quadtree leaf "
+                            "(near-field granularity, default 32)")
     model.add_argument("--atwood", "-a", type=float, default=0.5)
     model.add_argument("--gravity", "-g", type=float, default=10.0)
     model.add_argument("--mu", type=float, default=0.0,
@@ -92,9 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="include 3x3 periodic images in the exact solver")
 
     ic = parser.add_argument_group("initial condition")
-    ic.add_argument("--ic", "-I", default="multi_mode",
-                    choices=("single_mode", "multi_mode", "sech2",
-                             "gaussian", "flat"))
+    ic.add_argument("--ic", "-I", default="multi_mode", choices=IC_CHOICES)
     ic.add_argument("--magnitude", "-m", type=float, default=0.05)
     ic.add_argument("--period", "-p", type=float, default=4.0)
     ic.add_argument("--seed", type=int, default=12345)
@@ -156,6 +201,8 @@ def run_from_args(args: argparse.Namespace) -> dict:
         cutoff=args.cutoff,
         skin=args.skin,
         rebuild_freq=args.rebuild_freq,
+        theta=args.theta,
+        leaf_size=args.leaf_size,
         atwood=args.atwood,
         gravity=args.gravity,
         mu=args.mu,
@@ -189,10 +236,18 @@ def run_from_args(args: argparse.Namespace) -> dict:
             solver.br_solver, "ownership_counts"
         ):
             counts = solver.br_solver.ownership_counts()
-        return solver.diagnostics(), counts, solver.neighbor_cache_stats()
+        tree_stats = None
+        if solver.br_solver is not None and hasattr(
+            solver.br_solver, "interaction_stats"
+        ):
+            tree_stats = solver.br_solver.interaction_stats()
+        return (
+            solver.diagnostics(), counts, solver.neighbor_cache_stats(),
+            tree_stats,
+        )
 
     results = mpi.run_spmd(args.ranks, program, trace=trace, timeout=3600.0)
-    diag, counts, cache_stats = results[0]
+    diag, counts, cache_stats, tree_stats = results[0]
 
     print(f"rocketrig: {args.order}-order, {args.ranks} ranks, "
           f"{args.nodes}x{args.nodes} mesh, {args.steps} steps, "
@@ -205,6 +260,11 @@ def run_from_args(args: argparse.Namespace) -> dict:
     if cache_stats is not None and args.skin > 0:
         print(f"  neighbor cache: {cache_stats['rebuilds']} rebuilds, "
               f"{cache_stats['reuses']} reuses (skin {args.skin:g})")
+    if tree_stats is not None:
+        print(f"  tree (theta {args.theta:g}): "
+              f"{tree_stats['far_pairs']} far + "
+              f"{tree_stats['near_pairs']} near pairs/rank, "
+              f"{tree_stats['nodes']} nodes, depth {tree_stats['depth']}")
     if writer is not None and writer.written:
         print(f"  wrote {len(writer.written)} VTK dumps to {args.outdir}")
     if trace is not None:
@@ -272,6 +332,13 @@ def run_campaign_from_args(args: argparse.Namespace) -> dict:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.list_solvers or args.list_backends:
+        if args.list_solvers:
+            print("registered BR solvers:", ", ".join(available_br_solvers()))
+        if args.list_backends:
+            print("registered compute backends:",
+                  ", ".join(available_backends()))
+        return 0
     if getattr(args, "command", None) == "campaign":
         summary = run_campaign_from_args(args)
         return 0 if summary["batch_failed"] == 0 else 1

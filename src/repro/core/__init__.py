@@ -8,8 +8,9 @@ Module map (paper §2/§3 names → here):
 * ``BoundaryCondition`` — periodic ghost correction / free extrapolation.
 * ``ZModel`` (+ ``Order``, ``ZModelParameters``) — low/medium/high-order
   derivatives.
-* ``ExactBRSolver`` / ``CutoffBRSolver`` — Birkhoff-Rott far-field
-  solvers (ring pass / migrate-halo-neighbor pipeline).
+* ``ExactBRSolver`` / ``CutoffBRSolver`` / ``TreeBRSolver`` —
+  Birkhoff-Rott far-field solvers (ring pass / migrate-halo-neighbor
+  pipeline / Barnes-Hut tree code).
 * ``TimeIntegrator`` — TVD-RK3.
 * ``SiloWriter`` — visualization dumps.
 * ``InitialCondition`` — rocket-rig problem setups.
@@ -18,6 +19,7 @@ Module map (paper §2/§3 names → here):
 from repro.core.boundary import BoundaryCondition, BoundaryType
 from repro.core.br_cutoff import CutoffBRSolver
 from repro.core.br_exact import ExactBRSolver
+from repro.core.br_tree import TreeBRSolver
 from repro.core.diagnostics import (
     OwnershipStats,
     fit_growth_rate,
@@ -30,7 +32,7 @@ from repro.core.initial_conditions import InitialCondition, apply_initial_condit
 from repro.core.problem_manager import ProblemManager
 from repro.core.remesh import maybe_remesh, parameter_distortion, remesh_uniform
 from repro.core.silo_writer import SiloWriter
-from repro.core.solver import Solver, SolverConfig
+from repro.core.solver import Solver, SolverConfig, available_br_solvers
 from repro.core.surface_mesh import SurfaceMesh
 from repro.core.time_integrator import TimeIntegrator
 from repro.core.zmodel import Order, ZModel, ZModelParameters
@@ -40,6 +42,8 @@ __all__ = [
     "BoundaryType",
     "CutoffBRSolver",
     "ExactBRSolver",
+    "TreeBRSolver",
+    "available_br_solvers",
     "OwnershipStats",
     "fit_growth_rate",
     "gather_global_state",

@@ -32,6 +32,7 @@ import numpy as np
 from repro.backend import get_backend
 from repro.core.br_cutoff import CutoffBRSolver
 from repro.core.br_exact import ExactBRSolver
+from repro.core.br_tree import TreeBRSolver
 from repro.core.initial_conditions import InitialCondition, apply_initial_condition
 from repro.core.problem_manager import ProblemManager
 from repro.core.surface_mesh import SurfaceMesh
@@ -42,7 +43,7 @@ from repro.fft.dfft import DistributedFFT2D
 from repro.mpi.comm import Comm
 from repro.util.errors import ConfigurationError
 
-__all__ = ["SolverConfig", "Solver"]
+__all__ = ["SolverConfig", "Solver", "available_br_solvers"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,12 @@ class SolverConfig:
     * ``spatial_low/high`` bound the 3D spatial mesh of the cutoff
       solver; unset, they cover the parameter domain horizontally and
       ±25 % of its extent vertically.
+    * ``br_solver`` selects the Birkhoff-Rott far-field strategy (see
+      :func:`available_br_solvers`): ``exact`` (all pairs, ring pass),
+      ``cutoff`` (drop interactions beyond ``cutoff``) or ``tree``
+      (Barnes-Hut multipole approximation; ``theta`` bounds the
+      geometric error of every accepted far-field interaction and
+      ``leaf_size`` sets the near-field granularity).
     * ``skin`` enables the cutoff solver's Verlet-skin structure cache:
       neighbor lists and the migration/halo plans are built at
       ``cutoff + skin`` and reused until the max point displacement
@@ -80,7 +87,7 @@ class SolverConfig:
     high: tuple[float, float] = (1.0, 1.0)
     periodic: tuple[bool, bool] = (True, True)
     order: str = "low"
-    br_solver: str = "exact"          # "exact" | "cutoff"
+    br_solver: str = "exact"          # see available_br_solvers()
     atwood: float = 0.5
     gravity: float = 10.0
     mu: float = 0.0
@@ -92,6 +99,8 @@ class SolverConfig:
     cutoff: float = 0.5
     skin: float = 0.0
     rebuild_freq: int = 0
+    theta: float = 0.5
+    leaf_size: int = 32
     br_images: bool = False
     spatial_low: Optional[tuple[float, float, float]] = None
     spatial_high: Optional[tuple[float, float, float]] = None
@@ -113,6 +122,15 @@ class SolverConfig:
             raise ConfigurationError(
                 f"rebuild_freq must be >= 0 (0 = displacement-only), "
                 f"got {self.rebuild_freq}"
+            )
+        if not 0.0 <= self.theta < 1.0:
+            raise ConfigurationError(
+                f"theta (tree multipole acceptance) must lie in [0, 1), "
+                f"got {self.theta}"
+            )
+        if self.leaf_size < 1:
+            raise ConfigurationError(
+                f"leaf_size must be >= 1, got {self.leaf_size}"
             )
         if not 0.0 <= self.atwood <= 1.0:
             raise ConfigurationError(
@@ -182,6 +200,45 @@ class SolverConfig:
         return replace(self, **kwargs)
 
 
+def _build_exact(comm: Comm, mesh: SurfaceMesh, config: SolverConfig,
+                 eps: float, backend) -> ExactBRSolver:
+    return ExactBRSolver(
+        comm, mesh, eps, periodic_images=config.br_images, backend=backend
+    )
+
+
+def _build_cutoff(comm: Comm, mesh: SurfaceMesh, config: SolverConfig,
+                  eps: float, backend) -> CutoffBRSolver:
+    s_low, s_high = config.spatial_bounds()
+    return CutoffBRSolver(
+        comm, mesh, eps, config.cutoff, s_low, s_high,
+        backend=backend, skin=config.skin, rebuild_freq=config.rebuild_freq,
+    )
+
+
+def _build_tree(comm: Comm, mesh: SurfaceMesh, config: SolverConfig,
+                eps: float, backend) -> TreeBRSolver:
+    return TreeBRSolver(
+        comm, mesh, eps, theta=config.theta, leaf_size=config.leaf_size,
+        backend=backend,
+    )
+
+
+#: BR-solver registry: config names -> builders.  The CLI's
+#: ``--list-solvers`` and the deck validation both read this, so
+#: documentation and dispatch cannot drift apart.
+_BR_SOLVER_BUILDERS = {
+    "exact": _build_exact,
+    "cutoff": _build_cutoff,
+    "tree": _build_tree,
+}
+
+
+def available_br_solvers() -> list[str]:
+    """Registered Birkhoff-Rott solver names, in registry order."""
+    return list(_BR_SOLVER_BUILDERS)
+
+
 class Solver:
     """Builds the module stack from a config and runs timesteps."""
 
@@ -210,24 +267,14 @@ class Solver:
         br = None
         if order in (Order.MEDIUM, Order.HIGH):
             eps = config.effective_eps()
-            if config.br_solver == "exact":
-                br = ExactBRSolver(
-                    self.mesh.cart, self.mesh, eps,
-                    periodic_images=config.br_images,
-                    backend=self.backend,
-                )
-            elif config.br_solver == "cutoff":
-                s_low, s_high = config.spatial_bounds()
-                br = CutoffBRSolver(
-                    self.mesh.cart, self.mesh, eps, config.cutoff, s_low, s_high,
-                    backend=self.backend,
-                    skin=config.skin,
-                    rebuild_freq=config.rebuild_freq,
-                )
-            else:
+            try:
+                build = _BR_SOLVER_BUILDERS[config.br_solver]
+            except KeyError:
                 raise ConfigurationError(
-                    f"unknown br_solver {config.br_solver!r}; use 'exact' or 'cutoff'"
-                )
+                    f"unknown br_solver {config.br_solver!r}; "
+                    f"available: {available_br_solvers()}"
+                ) from None
+            br = build(self.mesh.cart, self.mesh, config, eps, self.backend)
         self.br_solver = br
 
         params = ZModelParameters(

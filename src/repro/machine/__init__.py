@@ -30,6 +30,7 @@ from repro.machine.patterns import (
     low_order_evaluation,
     stencil_phase,
     step_time,
+    tree_evaluation,
 )
 from repro.machine.replay import (
     PhaseTime,
@@ -59,6 +60,7 @@ __all__ = [
     "low_order_evaluation",
     "stencil_phase",
     "step_time",
+    "tree_evaluation",
     "PhaseTime",
     "ReplayResult",
     "kernel_breakdown",

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.fft.config import FftConfig
 from repro.fft.layouts import layout_for_stage
 from repro.machine.collectives import (
+    allgather_time,
     allreduce_time,
     alltoallv_time,
     mixed_alpha,
@@ -34,11 +35,17 @@ from repro.util.misc import dims_create, split_extent
 from repro.util.roofline import (
     DISPLACEMENT_BYTES,
     DISPLACEMENT_FLOPS,
+    FARFIELD_BYTES,
+    FARFIELD_FLOPS,
     FILTER_BYTES,
     FILTER_FLOPS,
+    MOMENT_BYTES,
+    MOMENT_FLOPS,
     SEARCH_BYTES,
     SEARCH_CANDIDATE_FACTOR,
     SEARCH_FLOPS,
+    WALK_BYTES,
+    WALK_FLOPS,
 )
 
 __all__ = [
@@ -50,6 +57,7 @@ __all__ = [
     "low_order_evaluation",
     "cutoff_evaluation",
     "exact_evaluation",
+    "tree_evaluation",
     "step_time",
 ]
 
@@ -85,24 +93,35 @@ class PhaseCost:
 
 @dataclass
 class EvaluationModel:
-    """Phase costs of one ZModel evaluation at scale P."""
+    """Phase costs of one ZModel evaluation at scale P.
+
+    Phase names match the functional solver's trace phases (``halo``,
+    ``fft``, ``migrate``, ``spatial_halo``, ``neighbor``,
+    ``neighbor_cache``, ``br_compute``, ``br_ring``, ``tree_gather``,
+    ``tree_build``, ``tree_walk``, ``stencil``), so modeled and
+    replayed breakdowns line up column for column.
+    """
 
     nranks: int
     phases: dict[str, PhaseCost] = field(default_factory=dict)
 
     def add(self, phase: str, comm: float = 0.0, compute: float = 0.0) -> None:
+        """Accumulate (comm, compute) seconds into one named phase."""
         bucket = self.phases.setdefault(phase, PhaseCost())
         bucket.comm += comm
         bucket.compute += compute
 
     @property
     def total(self) -> float:
+        """Modeled seconds of the whole evaluation for the pacing rank."""
         return sum(p.total for p in self.phases.values())
 
     def comm_total(self) -> float:
+        """Communication seconds summed over every phase."""
         return sum(p.comm for p in self.phases.values())
 
     def compute_total(self) -> float:
+        """Compute seconds summed over every phase."""
         return sum(p.compute for p in self.phases.values())
 
 
@@ -426,6 +445,94 @@ def exact_evaluation(
         comm=ring_comm,
         compute=spec.compute_time(
             30.0 * pairs, 9.0 * _FLOAT * pairs, parallelism=n_local
+        ),
+    )
+    st = stencil_phase(n_local, spec)
+    model.add("stencil", compute=st.compute)
+    return model
+
+
+def tree_evaluation(
+    nranks: int,
+    global_shape: tuple[int, int],
+    spec: MachineSpec,
+    *,
+    theta: float = 0.5,
+    leaf_size: int = 32,
+) -> EvaluationModel:
+    """One HIGH-order Barnes-Hut tree-solver evaluation.
+
+    Mirrors the functional :class:`~repro.core.br_tree.TreeBRSolver`
+    phase for phase: one allgather replicates every rank's ``(n, 6)``
+    point/vorticity block (``tree_gather``), every rank builds the full
+    N-point moment tree (``tree_build``), walks it for its local
+    targets (``tree_walk``) and evaluates the accepted far pairs plus
+    the leaf-level near pairs (``br_compute``).  Interaction counts use
+    the classic 2D Barnes-Hut estimate: per level a target opens the
+    ~``pi / theta^2`` cells whose size/distance ratio exceeds
+    ``theta``, examining their four children each, over
+    ``log4(N / leaf_size)`` levels — so ~``3 pi / theta^2`` accepted
+    far nodes per level and ~``pi / theta^2`` opened leaves of
+    ``leaf_size`` near sources at the bottom, both capped at the exact
+    solver's N (which is what ``theta -> 0`` degenerates to).
+
+    Unlike :func:`cutoff_evaluation` there is no ``imbalance`` knob:
+    targets never leave their surface owner, so the tree solver is
+    immune to the spatial ownership imbalance of Figures 6/7.
+    """
+    model = EvaluationModel(nranks)
+    local = _local_shape(global_shape, nranks)
+    n_local = float(local[0] * local[1])
+    total_points = float(global_shape[0] * global_shape[1])
+
+    state = halo_phase(nranks, local, _STATE_COMPONENTS, spec)
+    phi = halo_phase(nranks, local, 1, spec)
+    model.add("halo", comm=state.comm + phi.comm)
+
+    # One ring allgather of the (n_local, 6) float64 block.
+    model.add(
+        "tree_gather",
+        comm=allgather_time(nranks, int(n_local * 6 * _FLOAT), spec),
+    )
+
+    # Every rank builds the full global tree (replicated, like the
+    # functional solver); the upward pass is amortized into the
+    # per-point moment constants.
+    model.add(
+        "tree_build",
+        compute=spec.compute_time(
+            MOMENT_FLOPS * total_points,
+            MOMENT_BYTES * total_points,
+            parallelism=total_points,
+        ),
+    )
+
+    levels = max(
+        1.0, math.log(max(total_points / max(leaf_size, 1), 4.0), 4.0)
+    )
+    opened_per_level = math.pi / max(theta, 0.05) ** 2
+    far_per_target = min(3.0 * opened_per_level * levels, total_points)
+    near_per_target = min(opened_per_level * leaf_size, total_points)
+    examined_per_target = min(4.0 * opened_per_level * levels, total_points)
+
+    model.add(
+        "tree_walk",
+        compute=spec.compute_time(
+            WALK_FLOPS * examined_per_target * n_local,
+            WALK_BYTES * examined_per_target * n_local,
+            parallelism=n_local,
+        ),
+    )
+    far_pairs = far_per_target * n_local
+    near_pairs = near_per_target * n_local
+    model.add(
+        "br_compute",
+        compute=spec.compute_time(
+            FARFIELD_FLOPS * far_pairs, FARFIELD_BYTES * far_pairs,
+            parallelism=n_local,
+        )
+        + spec.compute_time(
+            30.0 * near_pairs, 24.0 * near_pairs, parallelism=n_local
         ),
     )
     st = stencil_phase(n_local, spec)

@@ -1,13 +1,14 @@
 """Particle/spatial substrate (ArborX + CabanaPD HaloComm analogues).
 
-Implements the communication machinery of Beatnik's cutoff Birkhoff-
-Rott solver: the 3D spatial mesh with its 2D x/y block decomposition,
+Implements the spatial machinery of Beatnik's approximate Birkhoff-
+Rott solvers: the 3D spatial mesh with its 2D x/y block decomposition,
 position-based particle migration with exact return routing, cutoff
-ghost (halo) exchange, and cell-list fixed-radius neighbor search.
-Migration and halo routing are separable as reusable *plans*, and
-neighbor lists built at an inflated radius can be restricted back to
-the physical cutoff — together these implement the cutoff solver's
-Verlet-skin structure cache.
+ghost (halo) exchange, cell-list fixed-radius neighbor search, and the
+moment quadtree of the Barnes-Hut tree solver.  Migration and halo
+routing are separable as reusable *plans*, and neighbor lists built at
+an inflated radius can be restricted back to the physical cutoff —
+together these implement the cutoff solver's Verlet-skin structure
+cache.
 """
 
 from repro.spatial.binning import Binning, CellGrid, bin_points
@@ -20,6 +21,7 @@ from repro.spatial.neighbors import (
     restrict_lists,
 )
 from repro.spatial.spatial_mesh import SpatialMesh
+from repro.spatial.tree import QuadTree, TreePairs, build_quadtree
 
 __all__ = [
     "Binning",
@@ -37,4 +39,7 @@ __all__ = [
     "neighbor_lists",
     "restrict_lists",
     "SpatialMesh",
+    "QuadTree",
+    "TreePairs",
+    "build_quadtree",
 ]

@@ -59,7 +59,17 @@ class HaloPlan:
 def plan_halo(
     comm_size: int, mesh: SpatialMesh, positions: np.ndarray, cutoff: float
 ) -> HaloPlan:
-    """Compute the ghost routing for these positions without communicating."""
+    """Compute the ghost routing for these positions without communicating.
+
+    ``positions`` is ``(n, 3)`` float64 — this rank's *owned* particles
+    after migration.  The plan records which of them must be copied to
+    which destination blocks so that every block sees all sources
+    within ``cutoff`` of its rectangle; a particle near a corner
+    appears once per destination.  Purely local (ownership geometry
+    only); the plan stays valid while every particle remains within
+    ``cutoff`` of where the plan saw it — the Verlet-skin cache's
+    displacement bound enforces a stronger version of this.
+    """
     pos = np.atleast_2d(np.asarray(positions, dtype=np.float64))
     point_idx, dest_rank = mesh.halo_targets(pos, cutoff)
     order = np.argsort(dest_rank, kind="stable")
@@ -92,12 +102,15 @@ def halo_exchange(
 ) -> HaloResult:
     """Ship copies of near-boundary owned particles to affected blocks.
 
-    ``positions``/``payload`` are this rank's owned particles after
-    migration.  Returns the ghosts this rank received.  Handles cutoffs
-    larger than a block width (copies then travel more than one block).
-    Passing a cached ``plan`` re-executes that exchange's routing on the
-    updated data, so ghosts arrive in the identical merged order as when
-    the plan was built.
+    ``positions`` is ``(n, 3)`` float64 and ``payload`` ``(n, k)``
+    float64 (``k`` may be 0; a 1-D payload is treated as one column),
+    this rank's owned particles after migration; inputs are never
+    modified and the returned ghost arrays are fresh copies.  Handles
+    cutoffs larger than a block width (copies then travel more than
+    one block).  Collective: every rank must call it, even with zero
+    particles to ship.  Passing a cached ``plan`` re-executes that
+    exchange's routing on the updated data, so ghosts arrive in the
+    identical merged order as when the plan was built.
     """
     if mesh.nblocks != comm.size:
         raise CommunicationError(

@@ -84,7 +84,13 @@ class Migration:
 
 
 class ParticleMigrator:
-    """Reusable migrate / migrate-back engine over one communicator."""
+    """Reusable migrate / migrate-back engine over one communicator.
+
+    Holds no per-call state beyond the (comm, mesh) binding, so one
+    instance serves every evaluation of a solver run.  All exchanges
+    are collective: every rank must call :meth:`migrate` and
+    :meth:`migrate_back` the same number of times, in the same order.
+    """
 
     def __init__(self, comm: Comm, mesh: SpatialMesh) -> None:
         if mesh.nblocks != comm.size:
@@ -95,7 +101,16 @@ class ParticleMigrator:
         self.mesh = mesh
 
     def plan(self, positions: np.ndarray) -> MigrationPlan:
-        """Compute the routing for these positions without communicating."""
+        """Compute the routing for these positions without communicating.
+
+        ``positions`` is ``(n, 3)`` float64 (any array-like coercible
+        to it); the result freezes which rank owns each particle *at
+        plan time*.  Re-executing a stale plan is well-defined — the
+        exchange routes by the frozen owners, not current positions —
+        which is exactly what the Verlet-skin cache exploits (and why
+        its validity is guarded by a displacement bound, not by the
+        plan itself).  Purely local: no communication happens here.
+        """
         pos = np.atleast_2d(np.asarray(positions, dtype=np.float64))
         n = pos.shape[0]
         owners = self.mesh.owner_of(pos) if n else np.empty(0, dtype=np.int64)
@@ -111,12 +126,14 @@ class ParticleMigrator:
     ) -> Migration:
         """Send every particle to its spatial owner; receive mine.
 
-        ``positions`` is ``(n, 3)``; ``payload`` is ``(n, k)`` (``k`` may
-        be 0).  Returns the particles this rank now owns spatially.
-        Passing a cached ``plan`` re-executes that exchange's routing on
-        the updated data (positions are *not* re-assigned to owners), so
-        every rank receives the same particles in the same order as when
-        the plan was built.
+        ``positions`` is ``(n, 3)`` float64; ``payload`` is ``(n, k)``
+        float64 (``k`` may be 0; a 1-D payload is treated as one
+        column).  Returns the particles this rank now owns spatially;
+        inputs are never modified, and the returned arrays are fresh
+        copies safe to mutate.  Passing a cached ``plan`` re-executes
+        that exchange's routing on the updated data (positions are
+        *not* re-assigned to owners), so every rank receives the same
+        particles in the same order as when the plan was built.
         """
         comm = self.comm
         pos = np.atleast_2d(np.asarray(positions, dtype=np.float64))
@@ -168,9 +185,14 @@ class ParticleMigrator:
     def migrate_back(self, migration: Migration, results: np.ndarray) -> np.ndarray:
         """Return per-particle ``results`` to the original owners.
 
-        ``results`` is ``(m, j)`` aligned with ``migration``'s particles.
-        The return value is ``(n, j)`` on each rank, ordered exactly like
-        the positions originally passed to :meth:`migrate`.
+        ``results`` is ``(m, j)`` float64, row-aligned with
+        ``migration``'s particles (a 1-D array is treated as one
+        column).  The return value is ``(n, j)`` on each rank, ordered
+        exactly like the positions originally passed to
+        :meth:`migrate` — the provenance indices make the round trip
+        exact even though the exchange reordered particles.  Raises
+        :class:`~repro.util.errors.CommunicationError` if any particle
+        fails to return (a routing bug, never a data-dependent event).
         """
         comm = self.comm
         res = np.asarray(results, dtype=np.float64)

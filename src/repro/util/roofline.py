@@ -1,8 +1,9 @@
-"""Shared roofline conventions of the cutoff neighbor pipeline.
+"""Shared roofline conventions of the approximate-BR pipelines.
 
 One home for the per-item flop/byte constants of the neighbor-search,
-Verlet-cache and filter kernels, imported by both the accounting layer
-(:mod:`repro.core.br_cutoff`, which records the ComputeEvents) and the
+Verlet-cache, filter and Barnes-Hut tree kernels, imported by both the
+accounting layers (:mod:`repro.core.br_cutoff` and
+:mod:`repro.core.br_tree`, which record the ComputeEvents) and the
 analytic machine model (:mod:`repro.machine.patterns`, which prices the
 same work at paper scale).  Keeping them in a leaf module preserves the
 layering: the machine model never imports the functional solver.
@@ -25,6 +26,12 @@ __all__ = [
     "DISPLACEMENT_BYTES",
     "FILTER_FLOPS",
     "FILTER_BYTES",
+    "MOMENT_FLOPS",
+    "MOMENT_BYTES",
+    "WALK_FLOPS",
+    "WALK_BYTES",
+    "FARFIELD_FLOPS",
+    "FARFIELD_BYTES",
 ]
 
 SEARCH_CANDIDATE_FACTOR = 27.0 / (4.0 * math.pi / 3.0)
@@ -34,3 +41,14 @@ DISPLACEMENT_FLOPS = 8.0   # per point
 DISPLACEMENT_BYTES = 6 * 8.0
 FILTER_FLOPS = 8.0         # per inflated pair
 FILTER_BYTES = 8.0
+
+# Barnes-Hut tree solver (repro.core.br_tree / repro.spatial.tree).
+MOMENT_FLOPS = 45.0        # per point: cross(9) + outer(9) + 15 moment adds
+                           # + amortized upward-pass aggregation (~12)
+MOMENT_BYTES = 22 * 8.0    # per point: read pos+omega (6) + moment traffic
+WALK_FLOPS = 12.0          # per examined (target, node) pair: distance(8)
+                           # + MAC compare + child indexing
+WALK_BYTES = 6 * 8.0       # per examined pair: center(3) + size + ids
+FARFIELD_FLOPS = 70.0      # per far pair: r(3) + u(5) + g,h(~12) + M x r(9)
+                           # + Qr(15) + (Qr) x r(9) + combine/axpy(~17)
+FARFIELD_BYTES = 20 * 8.0  # per far pair: center+M+S(9) + Q(9) + out update

@@ -33,6 +33,52 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--order", "ultra"])
 
+    def test_tree_solver_flags(self):
+        args = build_parser().parse_args(
+            ["--br-solver", "tree", "--theta", "0.4", "--leaf-size", "16"]
+        )
+        assert args.br_solver == "tree"
+        assert args.theta == 0.4
+        assert args.leaf_size == 16
+
+    def test_epilog_examples_parse(self):
+        """Every example command in --help must be parser-valid, and the
+        epilog's choice lists must match the registries."""
+        import shlex
+
+        from repro.backend import available_backends
+        from repro.core import available_br_solvers
+
+        parser = build_parser()
+        epilog = parser.epilog
+        for solver in available_br_solvers():
+            assert solver in epilog
+        for backend in available_backends():
+            assert backend in epilog
+        commands = []
+        pending = None
+        for raw in epilog.splitlines():
+            line = raw.strip()
+            if pending is not None:
+                pending += " " + line.rstrip("\\").strip()
+                if not line.endswith("\\"):
+                    commands.append(pending)
+                    pending = None
+            elif line.startswith("rocketrig"):
+                if line.endswith("\\"):
+                    pending = line.rstrip("\\").strip()
+                else:
+                    commands.append(line)
+        assert len(commands) >= 3
+        for command in commands:
+            parser.parse_args(shlex.split(command)[1:])
+
+    def test_list_flags(self, capsys):
+        assert main(["--list-solvers"]) == 0
+        assert "tree" in capsys.readouterr().out
+        assert main(["--list-backends"]) == 0
+        assert "numpy" in capsys.readouterr().out
+
 
 class TestRun:
     def test_low_order_run(self, capsys):
