@@ -10,8 +10,10 @@ without every benchmark hand-rolling its own loop:
   content-addressed dedup under ``results/campaigns/``.
 * :mod:`repro.campaign.scheduler` — machine-model cost estimates and
   longest-job-first dispatch order.
-* :mod:`repro.campaign.executor` — concurrent execution with failure
-  isolation and checkpoint/resume of interrupted runs.
+* :mod:`repro.campaign.executor` — concurrent execution on a pluggable
+  worker backend (``thread`` / ``process`` / ``serial``) with failure
+  isolation — including hard worker-process crashes — and
+  checkpoint/resume of interrupted runs.
 * :mod:`repro.campaign.report` — aggregation into the figure/table
   payloads the benchmark harness emits.
 
@@ -25,7 +27,12 @@ Typical use::
 """
 
 from repro.campaign.deck import CampaignDeck, RunSpec
-from repro.campaign.executor import CampaignExecutor, RunOutcome
+from repro.campaign.executor import (
+    WORKER_TYPES,
+    CampaignExecutor,
+    RunOutcome,
+    resolve_worker_type,
+)
 from repro.campaign.report import (
     campaign_summary,
     campaign_table,
@@ -46,6 +53,8 @@ __all__ = [
     "RunSpec",
     "CampaignExecutor",
     "RunOutcome",
+    "WORKER_TYPES",
+    "resolve_worker_type",
     "CampaignStore",
     "RunRecord",
     "results_root",

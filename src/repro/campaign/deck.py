@@ -116,6 +116,28 @@ class RunSpec:
             "mode": self.mode,
         }
 
+    @classmethod
+    def from_payload(
+        cls, payload: dict[str, Any], campaign: str = "default"
+    ) -> "RunSpec":
+        """Rebuild a spec from its :meth:`payload` dict.
+
+        The inverse of :meth:`payload`: process-pool workers receive
+        specs as payload dicts (no pickled dataclasses cross the
+        process boundary) and rebuild them here.  The round trip is
+        hash-preserving — ``from_payload(s.payload()).run_hash() ==
+        s.run_hash()`` — which is what lets a worker process record
+        results under the same content address the parent dispatched.
+        """
+        return cls(
+            config=_build_config(payload["config"]),
+            ic=InitialCondition(**payload["ic"]),
+            ranks=int(payload["ranks"]),
+            steps=int(payload["steps"]),
+            mode=payload["mode"],
+            campaign=campaign,
+        )
+
     def run_hash(self) -> str:
         """Deterministic content hash identifying this run."""
         blob = json.dumps(self.payload(), sort_keys=True).encode("utf-8")

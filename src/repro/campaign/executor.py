@@ -1,14 +1,45 @@
-"""Concurrent campaign execution with dedup, failure isolation and resume.
+"""Campaign execution with pluggable worker backends, dedup and resume.
 
-The executor runs each :class:`~repro.campaign.deck.RunSpec` in a
-thread pool (the simulated-MPI ranks inside each run are themselves
-threads, and numpy releases the GIL in its kernels, so runs genuinely
-overlap).  Before dispatch the batch is ordered longest-job-first by
-the machine-model cost estimate (:mod:`repro.campaign.scheduler`);
+The executor runs each :class:`~repro.campaign.deck.RunSpec` of a batch
+through one of three worker backends (``worker_type``):
+
+``"thread"`` (default)
+    A thread pool.  The simulated-MPI ranks inside each run are
+    themselves threads and numpy releases the GIL in its kernels, so
+    runs overlap where the work is dense math — but all pure-Python
+    work (tree/walk setup, comm planning, scheduling, store I/O)
+    serializes on the GIL.
+``"process"``
+    A ``ProcessPoolExecutor`` (spawn context).  Each run is dispatched
+    to a worker process as its payload dict and rebuilt there
+    (:func:`_process_worker`), so runs execute with true CPU
+    parallelism and full crash isolation: a worker that dies hard
+    (e.g. a native-kernel fault) breaks the pool, which the executor
+    treats as one failed run plus a pool respawn — never a campaign
+    abort.  Workers record to the store themselves; the store's
+    advisory file locking and single-``write`` appends make that safe
+    across processes.
+``"serial"``
+    Inline in the calling thread (debugging, and the in-worker mode).
+
+Before dispatch the batch is ordered longest-job-first by the
+machine-model cost estimate (:mod:`repro.campaign.scheduler`);
 completed hashes found in the store are skipped ("store hit"), one
 run's failure is captured in its index record without aborting its
 siblings, and interrupted functional runs resume from the checkpoint
 the previous attempt left in the run directory.
+
+Two distinct timeouts govern a run (they used to be conflated, which
+made a slow-but-progressing rank die as a spurious ``DeadlockError``):
+
+* ``timeout`` — the run-level wall-clock budget.  Checked between
+  timesteps; an over-budget run raises
+  :class:`~repro.util.errors.RunBudgetExceededError` and is recorded
+  as failed.
+* ``collective_timeout`` — the deadline for any *single* blocking
+  collective inside the simulated-MPI layer (deadlock detection).  It
+  defaults to the run budget, so a rank that computes slowly while its
+  peers wait in a gather is never misdiagnosed as deadlocked.
 
 ``functional`` runs execute the real solver via
 :func:`repro.mpi.run_spmd`; ``model`` runs evaluate the paper-scale
@@ -19,10 +50,13 @@ scaling points.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import signal
 import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
@@ -33,13 +67,45 @@ from repro.campaign.scheduler import (
     evaluation_model,
     longest_job_first,
 )
-from repro.campaign.store import CampaignStore
+from repro.campaign.store import (
+    COMPLETED,
+    FAILED,
+    RUNNING,
+    CampaignStore,
+    RunRecord,
+)
 from repro.core.solver import Solver
 from repro.io.checkpoint import load_checkpoint
 from repro.machine.model import LASSEN, MachineSpec
 from repro.machine.patterns import step_time
+from repro.util.errors import ConfigurationError, RunBudgetExceededError
 
-__all__ = ["RunOutcome", "CampaignExecutor"]
+__all__ = ["RunOutcome", "CampaignExecutor", "WORKER_TYPES"]
+
+WORKER_TYPES = ("thread", "process", "serial")
+
+#: Environment default for :class:`CampaignExecutor`'s ``worker_type``
+#: (mirrors ``$REPRO_BACKEND`` for compute backends): CI runs the whole
+#: campaign suite under each backend by flipping this one variable.
+WORKER_TYPE_ENV = "REPRO_CAMPAIGN_WORKER_TYPE"
+
+#: Run-level wall-clock budget, aligned with the single-run CLI path
+#: (which has always used 3600 s) — the executor used to pass its 120 s
+#: default straight into the per-collective deadline.
+DEFAULT_RUN_TIMEOUT = 3600.0
+
+#: Test-only fault injection: the named file holds ``<run_hash> [N]``;
+#: a worker process that picks that run up decrements the trip count
+#: (removing the file at zero) and SIGKILLs itself.  ``N`` defaults to
+#: 1; a deterministic crasher — one that also dies when re-run in solo
+#: isolation and is therefore *recorded failed* — needs ``N >= 2``.
+#: This is how the crash-isolation tests produce a real dead worker
+#: mid-run.
+KILL_FUSE_ENV = "REPRO_CAMPAIGN_KILL_FUSE"
+
+#: Consecutive pool respawns with zero progress (no run completed, no
+#: crash attributed) before the executor gives up on the remainder.
+_MAX_POOL_STALLS = 3
 
 
 @dataclass
@@ -63,6 +129,21 @@ class RunOutcome:
         return self.status in ("completed", "skipped")
 
 
+def resolve_worker_type(worker_type: Optional[str]) -> str:
+    """``worker_type`` argument → concrete backend name.
+
+    ``None`` (or ``"auto"``) defers to ``$REPRO_CAMPAIGN_WORKER_TYPE``,
+    then ``"thread"``.
+    """
+    if worker_type in (None, "auto"):
+        worker_type = os.environ.get(WORKER_TYPE_ENV) or "thread"
+    if worker_type not in WORKER_TYPES:
+        raise ConfigurationError(
+            f"worker_type must be one of {WORKER_TYPES}, got {worker_type!r}"
+        )
+    return worker_type
+
+
 class CampaignExecutor:
     """Runs batches of specs against one :class:`CampaignStore`."""
 
@@ -71,16 +152,27 @@ class CampaignExecutor:
         store: CampaignStore,
         *,
         max_workers: int = 4,
-        timeout: float = 120.0,
+        timeout: float = DEFAULT_RUN_TIMEOUT,
+        collective_timeout: Optional[float] = None,
         machine: MachineSpec = LASSEN,
         checkpoint_freq: int = 0,
+        worker_type: Optional[str] = None,
         log: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.store = store
         self.max_workers = max(1, int(max_workers))
         self.timeout = timeout
+        #: Per-blocking-collective deadline inside a run (deadlock
+        #: detection); defaults to the whole run budget (or the stock
+        #: budget when the budget is disabled with ``timeout=0``).
+        if collective_timeout is None:
+            collective_timeout = (
+                timeout if timeout and timeout > 0 else DEFAULT_RUN_TIMEOUT
+            )
+        self.collective_timeout = collective_timeout
         self.machine = machine
         self.checkpoint_freq = int(checkpoint_freq)
+        self.worker_type = resolve_worker_type(worker_type)
         self._log = log
 
     def log(self, message: str) -> None:
@@ -117,10 +209,23 @@ class CampaignExecutor:
         ordered = longest_job_first(to_run, self.machine)
         if ordered:
             self.log(
-                f"dispatching {len(ordered)} runs on {self.max_workers} workers "
-                f"(longest-job-first, modeled head cost "
-                f"{estimate_cost(ordered[0], self.machine):.3g}s)"
+                f"dispatching {len(ordered)} runs on {self.max_workers} "
+                f"{self.worker_type} workers (longest-job-first, modeled "
+                f"head cost {estimate_cost(ordered[0], self.machine):.3g}s)"
             )
+            if self.worker_type == "process":
+                self._submit_process(ordered, outcomes)
+            elif self.worker_type == "thread":
+                self._submit_threads(ordered, outcomes)
+            else:
+                for spec in ordered:
+                    outcome = self.run_one(spec)
+                    outcomes[outcome.run_hash] = outcome
+        return [outcomes[spec.run_hash()] for spec in specs]
+
+    def _submit_threads(
+        self, ordered: Sequence[RunSpec], outcomes: dict[str, RunOutcome]
+    ) -> None:
         pool = ThreadPoolExecutor(max_workers=self.max_workers)
         try:
             for outcome in pool.map(self.run_one, ordered):
@@ -131,7 +236,6 @@ class CampaignExecutor:
             pool.shutdown(wait=False, cancel_futures=True)
             raise
         pool.shutdown(wait=True)
-        return [outcomes[spec.run_hash()] for spec in specs]
 
     def _hit_is_valid(self, spec: RunSpec, result: dict[str, Any]) -> bool:
         """Model-mode hits only count for the same machine they were
@@ -139,6 +243,214 @@ class CampaignExecutor:
         if spec.mode != "model":
             return True
         return result.get("machine") in (None, self.machine.name)
+
+    # -- process backend -------------------------------------------------------
+
+    def _worker_settings(self) -> dict[str, Any]:
+        """Everything a worker process needs to rebuild this executor."""
+        return {
+            "timeout": self.timeout,
+            "collective_timeout": self.collective_timeout,
+            "checkpoint_freq": self.checkpoint_freq,
+            "machine": self.machine,
+        }
+
+    def _submit_process(
+        self, ordered: Sequence[RunSpec], outcomes: dict[str, RunOutcome]
+    ) -> None:
+        """Dispatch runs to spawned worker processes, surviving crashes.
+
+        A hard worker death breaks the whole ``ProcessPoolExecutor``
+        (every unresolved future raises ``BrokenProcessPool``), which
+        leaves the *culprit* ambiguous in a parallel wave.  The store's
+        ``running`` claim markers disambiguate: broken specs whose
+        latest record is a terminal one already finished (their worker
+        recorded before the pool died), specs never claimed retry in
+        the next parallel wave, and claimed-but-unfinished *suspects*
+        re-run one at a time — a pool that breaks with a single run in
+        flight convicts it with certainty, so exactly the crashing run
+        is recorded ``failed`` while its siblings complete.
+        """
+        settings = self._worker_settings()
+        queue: list[RunSpec] = list(ordered)
+        suspects: list[RunSpec] = []
+        stalls = 0
+        while queue or suspects:
+            if suspects:
+                batch, workers, solo = [suspects.pop(0)], 1, True
+            else:
+                batch, workers, solo = queue, self.max_workers, False
+                queue = []
+            broken, resolved = self._process_wave(
+                batch, workers, settings, outcomes
+            )
+            if not broken:
+                stalls = 0
+                continue
+            if solo:
+                # The pool broke with exactly one run in flight — but
+                # the worker may still have finished and recorded
+                # before dying in the result hand-off, so consult the
+                # store before convicting.
+                spec = broken[0]
+                if not self._harvest_terminal(
+                    spec, self.store.latest_records(), outcomes
+                ):
+                    self._record_worker_death(spec, outcomes)
+                stalls = 0
+                continue
+            self.log(
+                f"worker pool died with {len(broken)} runs unresolved — "
+                f"respawning"
+            )
+            progressed = resolved > 0
+            latest = self.store.latest_records()
+            for spec in broken:
+                run_hash = spec.run_hash()
+                record = latest.get(run_hash)
+                if self._harvest_terminal(spec, latest, outcomes):
+                    progressed = True
+                elif record is not None and record.status == RUNNING:
+                    suspects.append(spec)
+                    progressed = True
+                else:
+                    queue.append(spec)
+            stalls = 0 if progressed else stalls + 1
+            if stalls >= _MAX_POOL_STALLS and queue:
+                # The pool keeps dying before any run can even claim
+                # itself — something environmental (OOM killer, broken
+                # interpreter).  Record the remainder instead of
+                # spinning forever.
+                error = (
+                    f"worker pool died {stalls} consecutive times before "
+                    f"any queued run could start"
+                )
+                for spec in queue:
+                    self.store.record_failed(spec, error)
+                    outcomes[spec.run_hash()] = RunOutcome(
+                        spec=spec, run_hash=spec.run_hash(), status="failed",
+                        error=error,
+                    )
+                    self.log(f"{spec.run_hash()} FAILED: {error}")
+                return
+
+    def _harvest_terminal(
+        self,
+        spec: RunSpec,
+        latest: dict[str, RunRecord],
+        outcomes: dict[str, RunOutcome],
+    ) -> bool:
+        """Adopt a terminal store record a worker wrote before the pool
+        died on it; returns False when the run has no terminal record."""
+        run_hash = spec.run_hash()
+        record = latest.get(run_hash)
+        if record is None:
+            return False
+        if record.status == COMPLETED:
+            # The worker finished and recorded; only the result
+            # hand-off was lost.
+            outcomes[run_hash] = RunOutcome(
+                spec=spec, run_hash=run_hash, status="completed",
+                result=self.store.load_result(run_hash) or {},
+                elapsed=record.elapsed,
+                resumed_from_step=record.resumed_from_step,
+            )
+            return True
+        if record.status == FAILED:
+            outcomes[run_hash] = RunOutcome(
+                spec=spec, run_hash=run_hash, status="failed",
+                error=record.error, elapsed=record.elapsed,
+            )
+            return True
+        return False
+
+    def _process_wave(
+        self,
+        specs: Sequence[RunSpec],
+        workers: int,
+        settings: dict[str, Any],
+        outcomes: dict[str, RunOutcome],
+    ) -> tuple[list[RunSpec], int]:
+        """One pool generation: returns (broken specs, resolved count)."""
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(specs)),
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+        broken: list[RunSpec] = []
+        resolved = 0
+        try:
+            futures = []
+            for i, spec in enumerate(specs):
+                try:
+                    future = pool.submit(
+                        _process_worker,
+                        spec.payload(),
+                        self.store.campaign,
+                        self.store.base_root,
+                        settings,
+                    )
+                except BrokenProcessPool:
+                    # The pool died while dispatch was still under way:
+                    # everything not yet submitted is broken too — let
+                    # the caller classify and respawn rather than abort
+                    # the campaign.
+                    broken.extend(specs[i:])
+                    break
+                futures.append((future, spec))
+            for future, spec in futures:
+                run_hash = spec.run_hash()
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    broken.append(spec)
+                except Exception:
+                    # Dispatch-side failure (e.g. the payload could not
+                    # be shipped): the worker never saw the run, so the
+                    # record must be written here.
+                    error = traceback.format_exc(limit=20)
+                    self.store.record_failed(spec, error)
+                    outcomes[run_hash] = RunOutcome(
+                        spec=spec, run_hash=run_hash, status="failed",
+                        error=error,
+                    )
+                    self.log(f"{run_hash} FAILED at dispatch "
+                             f"({spec.describe()})")
+                    resolved += 1
+                else:
+                    for line in payload.get("log", []):
+                        if self._log is not None:
+                            self._log(line)
+                    outcomes[run_hash] = RunOutcome(
+                        spec=spec,
+                        run_hash=payload["run_hash"],
+                        status=payload["status"],
+                        result=payload["result"],
+                        error=payload["error"],
+                        elapsed=payload["elapsed"],
+                        resumed_from_step=payload["resumed_from_step"],
+                    )
+                    resolved += 1
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
+        return broken, resolved
+
+    def _record_worker_death(
+        self, spec: RunSpec, outcomes: dict[str, RunOutcome]
+    ) -> None:
+        run_hash = spec.run_hash()
+        error = (
+            "worker process died (BrokenProcessPool) while executing this "
+            "run — killed by a signal, a native-kernel fault, or the OOM "
+            "killer; resubmit the deck to retry it"
+        )
+        self.store.record_failed(spec, error)
+        outcomes[run_hash] = RunOutcome(
+            spec=spec, run_hash=run_hash, status="failed", error=error,
+        )
+        self.log(f"{run_hash} FAILED: worker process died "
+                 f"({spec.describe()})")
 
     # -- single runs -----------------------------------------------------------
 
@@ -206,6 +518,10 @@ class CampaignExecutor:
         freq = self.checkpoint_freq
         if freq > 0:
             self.store.run_dir(run_hash, create=True)
+        deadline = (
+            time.perf_counter() + self.timeout
+            if self.timeout and self.timeout > 0 else None
+        )
 
         def program(comm):
             if resume_state is not None:
@@ -215,17 +531,24 @@ class CampaignExecutor:
             else:
                 solver = Solver(comm, spec.config, spec.ic)
 
-            def maybe_checkpoint(s: Solver) -> None:
+            def on_step(s: Solver) -> None:
+                # Run-level budget: enforced between steps on every
+                # rank, so an over-budget run fails cleanly instead of
+                # tripping the per-collective deadlock detector.
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise RunBudgetExceededError(
+                        f"run exceeded its {self.timeout:g}s wall-clock "
+                        f"budget at step {s.step_count}/{spec.steps}"
+                    )
                 if freq > 0 and s.step_count % freq == 0:
                     s.save_checkpoint(ckpt_path)
 
-            solver.run(
-                spec.steps - solver.step_count,
-                on_step=maybe_checkpoint if freq > 0 else None,
-            )
+            solver.run(spec.steps - solver.step_count, on_step=on_step)
             return solver.diagnostics()
 
-        results = mpi.run_spmd(spec.ranks, program, timeout=self.timeout)
+        results = mpi.run_spmd(
+            spec.ranks, program, timeout=self.collective_timeout
+        )
         diagnostics = results[0]
         self._remove_checkpoint(ckpt_path)
         return {"kind": "functional", "diagnostics": diagnostics}, resumed_from
@@ -253,3 +576,70 @@ class CampaignExecutor:
                 for name, cost in model.phases.items()
             },
         }
+
+
+def _maybe_trip_kill_fuse(run_hash: str) -> None:
+    """Fault injection for the crash-isolation tests (see KILL_FUSE_ENV)."""
+    fuse = os.environ.get(KILL_FUSE_ENV)
+    if not fuse or not os.path.exists(fuse):
+        return
+    try:
+        with open(fuse, "r", encoding="utf-8") as fh:
+            fields = fh.read().split()
+    except OSError:
+        return
+    if not fields or fields[0] != run_hash:
+        return
+    remaining = int(fields[1]) if len(fields) > 1 else 1
+    try:
+        if remaining <= 1:
+            os.remove(fuse)  # burnt out: the next attempt completes
+        else:
+            with open(fuse, "w", encoding="utf-8") as fh:
+                fh.write(f"{run_hash} {remaining - 1}")
+    except OSError:
+        pass
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _process_worker(
+    payload: dict[str, Any],
+    campaign: str,
+    store_root: str,
+    settings: dict[str, Any],
+) -> dict[str, Any]:
+    """Process-pool entry point: rebuild state, claim, run, report.
+
+    Everything crosses the process boundary as plain data: the spec as
+    its payload dict (:meth:`RunSpec.from_payload` reverses it), the
+    store as ``(campaign, root)``, the executor knobs as a settings
+    dict.  The worker writes its own store records — the claim marker
+    first, so a hard death leaves a trailing ``running`` record the
+    parent uses for crash attribution — and returns a JSON-able outcome
+    dict plus its log lines for the parent to replay.
+    """
+    spec = RunSpec.from_payload(payload, campaign=campaign)
+    store = CampaignStore(campaign, root=store_root)
+    logs: list[str] = []
+    executor = CampaignExecutor(
+        store,
+        max_workers=1,
+        worker_type="serial",
+        timeout=settings["timeout"],
+        collective_timeout=settings["collective_timeout"],
+        machine=settings["machine"],
+        checkpoint_freq=settings["checkpoint_freq"],
+        log=logs.append,
+    )
+    store.record_running(spec)
+    _maybe_trip_kill_fuse(spec.run_hash())
+    outcome = executor.run_one(spec)
+    return {
+        "run_hash": outcome.run_hash,
+        "status": outcome.status,
+        "result": outcome.result,
+        "error": outcome.error,
+        "elapsed": outcome.elapsed,
+        "resumed_from_step": outcome.resumed_from_step,
+        "log": logs,
+    }

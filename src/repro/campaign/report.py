@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence
 
-from repro.campaign.store import COMPLETED, CampaignStore, RunRecord
+from repro.campaign.store import COMPLETED, FAILED, RUNNING, CampaignStore, RunRecord
 from repro.util.errors import ConfigurationError
 
 __all__ = [
@@ -104,15 +104,23 @@ def series_grid(
 
 
 def campaign_summary(store: CampaignStore) -> dict[str, Any]:
-    """Counts and aggregate elapsed time of the campaign so far."""
+    """Counts and aggregate elapsed time of the campaign so far.
+
+    A trailing ``running`` record (a worker claimed the run but never
+    wrote a terminal record — killed or interrupted mid-flight) is
+    counted as ``interrupted``, not ``failed``: resubmitting the deck
+    retries those hashes.
+    """
     latest = store.latest_records()
     completed = [r for r in latest.values() if r.status == COMPLETED]
-    failed = [r for r in latest.values() if r.status != COMPLETED]
+    failed = [r for r in latest.values() if r.status == FAILED]
+    running = [r for r in latest.values() if r.status == RUNNING]
     return {
         "campaign": store.campaign,
         "runs": len(latest),
         "completed": len(completed),
         "failed": len(failed),
+        "interrupted": len(running),
         "resumed": sum(1 for r in completed if r.resumed_from_step > 0),
         "elapsed_total": sum(r.elapsed for r in latest.values()),
     }

@@ -3,6 +3,7 @@
 Layout, rooted at ``$REPRO_RESULTS_DIR`` (default ``results/``)::
 
     results/campaigns/<campaign>/index.jsonl      append-only run records
+    results/campaigns/<campaign>/.store.lock      advisory inter-process lock
     results/campaigns/<campaign>/runs/<hash>/     per-run artifact dir
         result.json                               diagnostics / model payload
         checkpoint.npz                            in-progress solver state
@@ -10,13 +11,37 @@ Layout, rooted at ``$REPRO_RESULTS_DIR`` (default ``results/``)::
 The index is append-only and the *last* record per run hash wins, so a
 failed run can be retried and a re-submitted deck skips every hash whose
 latest record is ``completed`` — content-addressed dedup without any
-locking beyond the per-store append mutex.
+read-side coordination.
+
+Concurrency control
+-------------------
+The store is safe for concurrent *processes*, not just threads (the
+process-pool executor backend runs one writer per worker process):
+
+* every index record is appended with a **single ``write`` on an
+  ``O_APPEND`` descriptor**, so concurrent appends interleave at record
+  granularity, never mid-line;
+* writers additionally hold an advisory file lock
+  (``fcntl.flock`` on ``.store.lock``; an ``O_EXCL`` lock-file spin on
+  platforms without ``fcntl``) spanning the append and any artifact
+  write, so a record and its ``result.json`` land as a unit;
+* ``result.json`` is written atomically (temp file + ``os.replace``,
+  the same hardening the checkpoint path has) — readers can never
+  observe a half-written result;
+* readers tolerate what crashes leave behind: a torn trailing
+  ``index.jsonl`` line is skipped with a warning instead of poisoning
+  ``latest_records()``, and an unreadable ``result.json`` degrades to
+  the result embedded in the index record instead of crashing
+  ``load_result``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
+import logging
 import os
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -25,10 +50,24 @@ from typing import Any, Iterator, Optional
 from repro.campaign.deck import RunSpec
 from repro.util.errors import ConfigurationError
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
 __all__ = ["RunRecord", "CampaignStore", "results_root"]
+
+logger = logging.getLogger(__name__)
 
 COMPLETED = "completed"
 FAILED = "failed"
+#: A worker process claimed the run and is executing it.  Superseded by
+#: a terminal record on exit; a *trailing* ``running`` record therefore
+#: marks a run whose worker died (or was interrupted) mid-flight.
+RUNNING = "running"
+
+#: How long the no-fcntl lock-file fallback spins before giving up.
+_LOCK_TIMEOUT = 30.0
 
 
 def results_root() -> str:
@@ -90,7 +129,11 @@ class CampaignStore:
         if not campaign or os.sep in campaign or campaign in (".", ".."):
             raise ConfigurationError(f"invalid campaign name {campaign!r}")
         self.campaign = campaign
-        self.root = os.path.join(root or results_root(), "campaigns", campaign)
+        #: The results-tree root this store hangs off — kept so worker
+        #: processes can rebuild an equivalent store from
+        #: ``(campaign, base_root)`` alone.
+        self.base_root = os.path.normpath(root) if root else results_root()
+        self.root = os.path.join(self.base_root, "campaigns", campaign)
         self._lock = threading.Lock()
 
     # -- paths ----------------------------------------------------------------
@@ -98,6 +141,10 @@ class CampaignStore:
     @property
     def index_path(self) -> str:
         return os.path.join(self.root, "index.jsonl")
+
+    @property
+    def lock_path(self) -> str:
+        return os.path.join(self.root, ".store.lock")
 
     def run_dir(self, run_hash: str, create: bool = False) -> str:
         path = os.path.join(self.root, "runs", run_hash)
@@ -111,17 +158,80 @@ class CampaignStore:
     def result_path(self, run_hash: str) -> str:
         return os.path.join(self.run_dir(run_hash), "result.json")
 
+    # -- locking --------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _write_lock(self) -> Iterator[None]:
+        """Advisory cross-process write lock on this campaign's store.
+
+        ``fcntl.flock`` on a dedicated lock file where available (the
+        lock dies with the holder, so a killed worker can never wedge
+        the store); elsewhere an ``O_CREAT|O_EXCL`` lock-file spin with
+        a deadline, treating a stale file older than the deadline as
+        abandoned.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        if fcntl is not None:
+            fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR, 0o666)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                yield
+            finally:
+                os.close(fd)  # closing the fd releases the flock
+            return
+        # Fallback: exclusive-create spin lock (pragma: platform-specific).
+        excl = self.lock_path + ".excl"
+        deadline = time.monotonic() + _LOCK_TIMEOUT
+        while True:
+            try:
+                fd = os.open(excl, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o666)
+                break
+            except FileExistsError:
+                try:
+                    if os.path.getmtime(excl) < time.time() - _LOCK_TIMEOUT:
+                        os.remove(excl)  # abandoned by a dead holder
+                        continue
+                except OSError:
+                    continue
+                if time.monotonic() > deadline:
+                    raise ConfigurationError(
+                        f"could not acquire store lock {excl} within "
+                        f"{_LOCK_TIMEOUT:g}s"
+                    )
+                time.sleep(0.01)
+        try:
+            os.close(fd)
+            yield
+        finally:
+            try:
+                os.remove(excl)
+            except OSError:
+                pass
+
     # -- index ----------------------------------------------------------------
 
     def iter_records(self) -> Iterator[RunRecord]:
-        """All index records in append order (empty if no index yet)."""
+        """All parseable index records in append order.
+
+        A line that does not parse — in practice the torn trailing line
+        a crashed writer leaves behind — is skipped with a warning
+        instead of wedging every subsequent store open.
+        """
         if not os.path.exists(self.index_path):
             return
         with open(self.index_path, "r", encoding="utf-8") as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     yield RunRecord.from_json(line)
+                except (ValueError, TypeError, AttributeError) as exc:
+                    logger.warning(
+                        "%s:%d: skipping unparseable index record (%s) — "
+                        "torn append from an interrupted writer?",
+                        self.index_path, lineno, exc,
+                    )
 
     def latest_records(self) -> dict[str, RunRecord]:
         """Last record per run hash (retries overwrite earlier failures)."""
@@ -140,16 +250,82 @@ class CampaignStore:
         record = self.latest_records().get(run_hash)
         return record is not None and record.status == COMPLETED
 
-    def append(self, record: RunRecord) -> None:
-        """Thread-safe append of one record to the index."""
+    def _append_locked(self, record: RunRecord) -> None:
+        """Append one record; the caller holds both store locks.
+
+        The encoded record goes out in a single ``write`` on an
+        ``O_APPEND`` descriptor, so records from concurrent writer
+        processes interleave whole, never mid-line.
+        """
         if not record.timestamp:
             record.timestamp = time.time()
-        with self._lock:
-            os.makedirs(self.root, exist_ok=True)
-            with open(self.index_path, "a", encoding="utf-8") as fh:
-                fh.write(record.to_json() + "\n")
+        line = (record.to_json() + "\n").encode("utf-8")
+        fd = os.open(
+            self.index_path, os.O_CREAT | os.O_RDWR | os.O_APPEND, 0o666
+        )
+        try:
+            # Heal a torn trailing append a killed writer left
+            # behind: start this record on a fresh line, so the
+            # fragment stays an isolated (skippable) line instead
+            # of swallowing the new record.  Safe under the write
+            # lock; O_APPEND still lands the write at EOF.
+            try:
+                end = os.lseek(fd, 0, os.SEEK_END)
+                if end > 0 and os.pread(fd, 1, end - 1) != b"\n":
+                    line = b"\n" + line
+            except (OSError, AttributeError):  # pragma: no cover
+                pass
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    def append(self, record: RunRecord) -> None:
+        """Thread- and process-safe append of one record to the index."""
+        with self._lock, self._write_lock():
+            self._append_locked(record)
 
     # -- results --------------------------------------------------------------
+
+    def _write_result(self, run_hash: str, result: dict[str, Any]) -> None:
+        """Atomically publish ``result.json`` (temp file + ``os.replace``)."""
+        directory = self.run_dir(run_hash, create=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix="result.", suffix=".tmp", dir=directory
+        )
+        try:
+            # mkstemp creates 0600; restore the umask-default mode a
+            # plain open() would have produced (shared results trees
+            # stay readable by their other consumers).
+            try:
+                umask = os.umask(0)
+                os.umask(umask)
+                os.fchmod(fd, 0o666 & ~umask)
+            except (AttributeError, OSError):  # pragma: no cover - non-POSIX
+                pass
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(result, fh, indent=2, default=str)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, self.result_path(run_hash))
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def record_running(self, spec: RunSpec) -> RunRecord:
+        """Claim marker: a worker is about to execute this run.
+
+        A trailing ``running`` record (no terminal record after it)
+        identifies the runs that were in flight when a worker process
+        died — the executor uses it to attribute pool crashes.
+        """
+        record = RunRecord(
+            run_hash=spec.run_hash(), status=RUNNING, spec=spec.payload()
+        )
+        self.append(record)
+        return record
 
     def record_completed(
         self,
@@ -160,9 +336,6 @@ class CampaignStore:
         resumed_from_step: int = 0,
     ) -> RunRecord:
         run_hash = spec.run_hash()
-        self.run_dir(run_hash, create=True)
-        with open(self.result_path(run_hash), "w", encoding="utf-8") as fh:
-            json.dump(result, fh, indent=2, default=str)
         record = RunRecord(
             run_hash=run_hash,
             status=COMPLETED,
@@ -171,7 +344,12 @@ class CampaignStore:
             elapsed=elapsed,
             resumed_from_step=resumed_from_step,
         )
-        self.append(record)
+        # One lock hold spans artifact + index, so a record and its
+        # result.json land as a unit even when two processes race to
+        # complete the same hash.
+        with self._lock, self._write_lock():
+            self._write_result(run_hash, result)
+            self._append_locked(record)
         return record
 
     def record_failed(
@@ -188,9 +366,23 @@ class CampaignStore:
         return record
 
     def load_result(self, run_hash: str) -> Optional[dict[str, Any]]:
+        """The stored result payload, or ``None`` when there is none.
+
+        An unreadable or corrupt ``result.json`` (torn by a crash) is a
+        *miss*, not an error: the reader logs the discard and falls back
+        to the result embedded in the latest completed index record.
+        """
         path = self.result_path(run_hash)
-        if not os.path.exists(path):
-            record = self.latest_records().get(run_hash)
-            return record.result if record and record.status == COMPLETED else None
-        with open(path, "r", encoding="utf-8") as fh:
-            return json.load(fh)
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    return json.load(fh)
+            except (OSError, ValueError, UnicodeDecodeError) as exc:
+                logger.warning(
+                    "%s: discarding unreadable result (%s) — falling back "
+                    "to the index record", path, exc,
+                )
+        record = self.latest_records().get(run_hash)
+        if record is not None and record.status == COMPLETED and record.result:
+            return record.result
+        return None

@@ -18,12 +18,15 @@ Examples::
 
 Batch campaigns (``rocketrig campaign``) run a whole sweep deck through
 the :mod:`repro.campaign` subsystem: runs execute concurrently in
-longest-job-first order, results land in the persistent store under
+longest-job-first order on the selected worker backend (``--worker-type
+thread|process|serial``; process mode adds true CPU parallelism and
+worker-crash isolation), results land in the persistent store under
 ``results/campaigns/<name>/`` (``REPRO_RESULTS_DIR`` overrides the
 root), re-invocations skip every already-completed run ("store hit"
 lines), and interrupted runs resume from their checkpoint::
 
     rocketrig campaign decks/fig9.json --workers 4 --checkpoint-freq 5
+    rocketrig campaign decks/fig9.json --worker-type process
     rocketrig campaign decks/fig9.json --report config.fft_config ranks \\
               result.step_time
 """
@@ -73,6 +76,8 @@ examples:
   rocketrig --nodes 128 --order high --br-solver tree --theta 0.5 \\
             --free-boundaries --ic multi_mode --steps 10 --trace
   rocketrig campaign examples/decks/smoke.json --workers 4
+  rocketrig campaign examples/decks/smoke.json --worker-type process \\
+            --timeout 3600 --collective-timeout 600
 
 initial conditions (--ic): {", ".join(IC_CHOICES)} (default multi_mode)
 BR solvers (--br-solver):  {", ".join(available_br_solvers())} (default exact)
@@ -174,11 +179,30 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("deck", help="path to the JSON campaign deck")
     camp.add_argument("--workers", "-w", type=int, default=4,
                       help="concurrent runs (default 4)")
+    camp.add_argument("--worker-type", choices=("thread", "process", "serial"),
+                      default=None,
+                      help="worker backend: 'thread' shares one interpreter "
+                           "(numpy releases the GIL, pure-Python work "
+                           "serializes), 'process' dispatches each run to a "
+                           "spawned worker process (true CPU parallelism; a "
+                           "crashed worker fails only its own run), 'serial' "
+                           "runs inline (default: "
+                           "$REPRO_CAMPAIGN_WORKER_TYPE or thread)")
     camp.add_argument("--results-dir", default=None,
                       help="results tree root (default: $REPRO_RESULTS_DIR "
                            "or ./results)")
-    camp.add_argument("--timeout", type=float, default=120.0,
-                      help="per-run blocking-communication deadline (s)")
+    camp.add_argument("--timeout", type=float, default=3600.0,
+                      help="per-run wall-clock budget in seconds; an "
+                           "over-budget run is recorded as failed (default "
+                           "3600, matching the single-run driver). Distinct "
+                           "from --collective-timeout, which bounds one "
+                           "blocking collective inside a run")
+    camp.add_argument("--collective-timeout", type=float, default=None,
+                      help="deadline (s) for a single blocking collective in "
+                           "the simulated-MPI layer; exceeding it raises "
+                           "DeadlockError. Defaults to the --timeout budget, "
+                           "so a slow-but-progressing rank whose peers wait "
+                           "in a gather is never misdiagnosed as deadlocked")
     camp.add_argument("--checkpoint-freq", type=int, default=0,
                       help="checkpoint functional runs every N steps "
                            "(0 = off)")
@@ -297,16 +321,22 @@ def run_campaign_from_args(args: argparse.Namespace) -> dict:
     except (OSError, TypeError, ValueError, ReproError) as exc:
         raise SystemExit(f"rocketrig campaign: bad deck {args.deck!r}: {exc}")
     store = CampaignStore(deck.name, root=args.results_dir)
-    executor = CampaignExecutor(
-        store,
-        max_workers=args.workers,
-        timeout=args.timeout,
-        checkpoint_freq=args.checkpoint_freq,
-        log=print,
-    )
+    try:
+        executor = CampaignExecutor(
+            store,
+            max_workers=args.workers,
+            timeout=args.timeout,
+            collective_timeout=args.collective_timeout,
+            checkpoint_freq=args.checkpoint_freq,
+            worker_type=args.worker_type,
+            log=print,
+        )
+    except ReproError as exc:
+        raise SystemExit(f"rocketrig campaign: {exc}")
     print(f"campaign {deck.name!r}: {len(specs)} runs "
-          f"({deck.mode} mode), {args.workers} workers, "
-          f"modeled makespan {makespan_estimate(specs, args.workers):.3g}s")
+          f"({deck.mode} mode), {args.workers} {executor.worker_type} "
+          f"workers, modeled makespan "
+          f"{makespan_estimate(specs, args.workers):.3g}s")
     outcomes = executor.submit(specs)
 
     ran = sum(1 for o in outcomes if o.status == "completed")

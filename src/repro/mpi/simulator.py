@@ -49,8 +49,12 @@ def run_spmd(
     trace:
         Optional :class:`~repro.mpi.trace.CommTrace` shared by all ranks.
     timeout:
-        Deadline (seconds) for any single blocking communication call;
-        exceeded deadlines raise :class:`~repro.util.errors.DeadlockError`.
+        Deadline (seconds) for any *single* blocking communication
+        call — deadlock detection, not a run-level budget; exceeded
+        deadlines raise :class:`~repro.util.errors.DeadlockError`.
+        Size it to the longest a rank may legitimately compute between
+        two collectives (its peers sit in the collective for exactly
+        that long), not to the expected wall time of the whole program.
 
     Returns
     -------

@@ -29,3 +29,14 @@ class DeadlockError(CommunicationError):
 
 class RankAbortedError(CommunicationError):
     """Another rank in the SPMD program raised; this rank was torn down."""
+
+
+class RunBudgetExceededError(ReproError):
+    """A campaign run overran its wall-clock budget.
+
+    Raised inside the run (checked between timesteps) so the executor
+    records the run as *failed* and moves on; distinct from
+    :class:`DeadlockError`, which bounds a single blocking collective —
+    a rank that computes slowly while its peers wait is over budget,
+    not deadlocked.
+    """

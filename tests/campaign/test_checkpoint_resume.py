@@ -124,9 +124,11 @@ class TestExecutorResume:
                 seen.append(path)
                 return path
 
+        # The spy only observes in-process calls: pin the thread backend
+        # (worker processes rebuild a plain CampaignStore).
         spy = SpyStore("freq", root=str(tmp_path))
         (outcome,) = CampaignExecutor(
-            spy, max_workers=1, checkpoint_freq=2
+            spy, max_workers=1, checkpoint_freq=2, worker_type="thread"
         ).submit([spec])
         assert outcome.status == "completed"
         assert seen  # checkpoint path was exercised
@@ -226,7 +228,11 @@ class TestInterruptHardening:
         reference = run_straight(1, 6)
         spec = self._spec(steps=6, ranks=1)
         store = CampaignStore("crash", root=str(tmp_path))
-        executor = CampaignExecutor(store, max_workers=1, checkpoint_freq=2)
+        # The save_checkpoint monkeypatch below lives in this process:
+        # pin the thread backend so the run actually sees it.
+        executor = CampaignExecutor(
+            store, max_workers=1, checkpoint_freq=2, worker_type="thread"
+        )
 
         real_save = Solver.save_checkpoint
         with pytest.MonkeyPatch.context() as mp:

@@ -59,7 +59,8 @@ class TestFunctionalCampaign:
         outcomes = executor.submit([spec, spec, spec])
         assert len(outcomes) == 3
         assert sum(1 for o in outcomes if o.status == "completed") >= 1
-        assert len(list(store.iter_records())) == 1
+        terminal = [r for r in store.iter_records() if r.status != "running"]
+        assert len(terminal) == 1
 
     def test_failure_isolation(self, store):
         """One raising run is recorded failed; siblings complete."""
@@ -92,7 +93,8 @@ class TestFunctionalCampaign:
         assert executor.submit([bad])[0].status == "failed"
         # A failed hash is not a store hit — it runs (and fails) again.
         assert executor.submit([bad])[0].status == "failed"
-        assert len(list(store.iter_records())) == 2
+        terminal = [r for r in store.iter_records() if r.status != "running"]
+        assert len(terminal) == 2
 
 
 class TestModelCampaign:
@@ -136,6 +138,82 @@ class TestModelCampaign:
         outcome = CampaignExecutor(store, machine=slow, max_workers=1).submit(specs)[0]
         assert outcome.status == "completed"
         assert outcome.result["machine"] == "slow-net"
+
+
+class TestTimeouts:
+    """Run-level wall-clock budget vs per-collective deadlock deadline
+    (the two used to be conflated: the executor passed its 120 s budget
+    straight into run_spmd's per-collective timeout, so a rank that
+    computed slowly while peers waited died as a spurious
+    DeadlockError)."""
+
+    def _spec(self, steps=2):
+        deck = functional_deck(grid={"ranks": [2]}, steps=steps)
+        return deck.expand()[0]
+
+    def test_defaults_align_with_single_run_cli(self, store):
+        executor = CampaignExecutor(store)
+        assert executor.timeout == 3600.0
+        # The collective deadline follows the run budget, so one slow
+        # rank can never trip deadlock detection inside its budget.
+        assert executor.collective_timeout == 3600.0
+        executor = CampaignExecutor(store, timeout=50.0)
+        assert executor.collective_timeout == 50.0
+
+    def test_collective_timeout_reaches_run_spmd(self, store, monkeypatch):
+        import repro.campaign.executor as executor_module
+
+        seen = {}
+        real_run_spmd = executor_module.mpi.run_spmd
+
+        def spy(nranks, fn, *args, **kwargs):
+            seen["timeout"] = kwargs.get("timeout")
+            return real_run_spmd(nranks, fn, *args, **kwargs)
+
+        monkeypatch.setattr(executor_module.mpi, "run_spmd", spy)
+        executor = CampaignExecutor(
+            store, max_workers=1, worker_type="serial",
+            timeout=900.0, collective_timeout=77.0,
+        )
+        assert executor.submit([self._spec()])[0].status == "completed"
+        assert seen["timeout"] == 77.0
+
+    def test_over_budget_run_fails_cleanly(self, store):
+        """Blowing the run budget is a recorded failure naming the
+        budget — not a DeadlockError out of a collective."""
+        executor = CampaignExecutor(
+            store, max_workers=1, worker_type="serial",
+            timeout=1e-9, collective_timeout=3600.0,
+        )
+        (outcome,) = executor.submit([self._spec(steps=3)])
+        assert outcome.status == "failed"
+        assert "wall-clock budget" in outcome.error
+        assert "DeadlockError" not in outcome.error
+        record = store.latest_records()[self._spec(steps=3).run_hash()]
+        assert record.status == "failed"
+
+    def test_zero_timeout_disables_the_budget(self, store):
+        executor = CampaignExecutor(
+            store, max_workers=1, worker_type="serial",
+            timeout=0.0, collective_timeout=120.0,
+        )
+        (outcome,) = executor.submit([self._spec()])
+        assert outcome.status == "completed"
+
+
+class TestSerialWorker:
+    def test_serial_matches_thread_outcomes(self, store, tmp_path):
+        specs = functional_deck(grid={"fft_config": [0, 7]}).expand()
+        serial_store = CampaignStore("serial", root=str(tmp_path / "s"))
+        thread = CampaignExecutor(store, max_workers=2, worker_type="thread")
+        serial = CampaignExecutor(
+            serial_store, max_workers=2, worker_type="serial"
+        )
+        t_outcomes = thread.submit(specs)
+        s_outcomes = serial.submit(specs)
+        assert [o.status for o in t_outcomes] == [o.status for o in s_outcomes]
+        for t, s in zip(t_outcomes, s_outcomes):
+            assert t.result == s.result
 
 
 class TestScheduler:

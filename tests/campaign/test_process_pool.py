@@ -1,0 +1,287 @@
+"""Process worker backend: round-trip, parity, crash isolation, store stress."""
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignDeck,
+    CampaignExecutor,
+    CampaignStore,
+    RunSpec,
+    campaign_summary,
+    resolve_worker_type,
+)
+from repro.campaign.executor import KILL_FUSE_ENV, WORKER_TYPE_ENV
+from repro.campaign.store import COMPLETED, FAILED, RUNNING
+from repro.core import InitialCondition, SolverConfig
+from repro.fft import FftConfig
+from repro.util.errors import ConfigurationError
+
+DECK = {
+    "name": "procpool",
+    "mode": "functional",
+    "steps": 2,
+    "base": {"order": "low", "num_nodes": [16, 16], "dt": 0.002},
+    "ic": {"kind": "multi_mode", "magnitude": 0.02, "period": 3},
+    "grid": {"fft_config": [0, 3, 5, 7]},
+}
+
+
+def specs():
+    return CampaignDeck.from_dict(DECK).expand()
+
+
+class TestPayloadRoundTrip:
+    """RunSpec/SolverConfig/InitialCondition survive the payload-dict
+    round trip the process boundary imposes."""
+
+    @pytest.mark.parametrize("spec", [
+        RunSpec(config=SolverConfig(), ic=InitialCondition()),
+        RunSpec(
+            config=SolverConfig(
+                num_nodes=(32, 16), periodic=(False, False), order="high",
+                br_solver="tree", theta=0.3, leaf_size=8, eps=0.05, dt=0.001,
+                fft_config=FftConfig.from_index(3), backend="blocked",
+            ),
+            ic=InitialCondition(kind="sech2", magnitude=0.1, tilt=0.2),
+            ranks=4, steps=7, mode="model", campaign="rt",
+        ),
+        RunSpec(
+            config=SolverConfig(
+                order="high", br_solver="cutoff", cutoff=0.8, skin=0.1,
+                rebuild_freq=3, spatial_low=(-1, -1, -1),
+                spatial_high=(1, 1, 1), mu=0.5, br_images=True,
+            ),
+            ic=InitialCondition(kind="flat"),
+        ),
+    ])
+    def test_hash_preserved(self, spec):
+        rebuilt = RunSpec.from_payload(spec.payload(), campaign=spec.campaign)
+        assert rebuilt.run_hash() == spec.run_hash()
+        assert rebuilt.payload() == spec.payload()
+        assert rebuilt.config == spec.config
+        assert rebuilt.ic == spec.ic
+
+    def test_payload_is_json_safe(self):
+        spec = specs()[0]
+        blob = json.dumps(spec.payload())
+        assert RunSpec.from_payload(json.loads(blob)).run_hash() == spec.run_hash()
+
+
+class TestWorkerTypeSelection:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKER_TYPE_ENV, "process")
+        assert resolve_worker_type("serial") == "serial"
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv(WORKER_TYPE_ENV, "serial")
+        assert resolve_worker_type(None) == "serial"
+        monkeypatch.delenv(WORKER_TYPE_ENV)
+        assert resolve_worker_type(None) == "thread"
+
+    def test_invalid_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="worker_type"):
+            CampaignExecutor(
+                CampaignStore("x", root=str(tmp_path)), worker_type="fork"
+            )
+
+
+class TestProcessCampaign:
+    def test_runs_complete_and_dedup(self, tmp_path):
+        store = CampaignStore("procpool", root=str(tmp_path))
+        executor = CampaignExecutor(
+            store, max_workers=2, worker_type="process"
+        )
+        outcomes = executor.submit(specs())
+        assert [o.status for o in outcomes] == ["completed"] * 4
+        for outcome in outcomes:
+            assert np.isfinite(outcome.result["diagnostics"]["amplitude"])
+        # Workers wrote their own records (claim marker + terminal).
+        latest = store.latest_records()
+        assert all(r.status == COMPLETED for r in latest.values())
+        again = executor.submit(specs())
+        assert all(o.skipped for o in again)
+
+    def test_worker_logs_replayed_in_parent(self, tmp_path):
+        store = CampaignStore("procpool", root=str(tmp_path))
+        logs = []
+        executor = CampaignExecutor(
+            store, max_workers=2, worker_type="process", log=logs.append
+        )
+        executor.submit(specs()[:2])
+        assert sum("completed in" in line for line in logs) == 2
+
+    def test_exception_in_worker_recorded_failed(self, tmp_path):
+        """An ordinary raise inside a worker process is a recorded
+        failure (not a pool break): siblings are untouched."""
+        bad = RunSpec(
+            config=SolverConfig(num_nodes=(2, 2), order="low", dt=0.002),
+            ic=InitialCondition(kind="flat"),
+            ranks=4, steps=2,
+        )
+        good = specs()[0]
+        store = CampaignStore("procfail", root=str(tmp_path))
+        executor = CampaignExecutor(
+            store, max_workers=2, worker_type="process"
+        )
+        outcomes = executor.submit([good, bad])
+        assert [o.status for o in outcomes] == ["completed", "failed"]
+        assert "ConfigurationError" in outcomes[1].error
+        assert store.latest_records()[bad.run_hash()].status == FAILED
+
+
+class TestThreadProcessParity:
+    def test_same_deck_same_outcomes_and_records(self, tmp_path):
+        """Thread and process backends produce identical diagnostics and
+        store records for the same deck (elapsed/timestamps aside)."""
+        results = {}
+        for worker_type in ("thread", "process"):
+            store = CampaignStore(worker_type, root=str(tmp_path))
+            outcomes = CampaignExecutor(
+                store, max_workers=2, worker_type=worker_type
+            ).submit(specs())
+            results[worker_type] = (store, outcomes)
+
+        t_store, t_outcomes = results["thread"]
+        p_store, p_outcomes = results["process"]
+        assert [o.status for o in t_outcomes] == [o.status for o in p_outcomes]
+        assert [o.run_hash for o in t_outcomes] == [o.run_hash for o in p_outcomes]
+        t_latest, p_latest = t_store.latest_records(), p_store.latest_records()
+        assert set(t_latest) == set(p_latest)
+        for run_hash, t_record in t_latest.items():
+            p_record = p_latest[run_hash]
+            assert t_record.status == p_record.status == COMPLETED
+            assert t_record.spec == p_record.spec
+            # Bitwise-identical diagnostics: same solver, same inputs.
+            assert t_record.result == p_record.result
+            assert (t_store.load_result(run_hash)
+                    == p_store.load_result(run_hash))
+
+
+class TestCrashIsolation:
+    def _arm_fuse(self, monkeypatch, tmp_path, run_hash, trips):
+        fuse = str(tmp_path / "fuse")
+        with open(fuse, "w", encoding="utf-8") as fh:
+            fh.write(f"{run_hash} {trips}")
+        monkeypatch.setenv(KILL_FUSE_ENV, fuse)
+        return fuse
+
+    def test_killed_worker_fails_one_run_siblings_complete(
+        self, tmp_path, monkeypatch
+    ):
+        """SIGKILLed worker mid-run: exactly that hash is recorded
+        failed, siblings complete, and a resubmission retries it."""
+        batch = specs()
+        victim = batch[1]
+        fuse = self._arm_fuse(
+            monkeypatch, tmp_path, victim.run_hash(), trips=2
+        )
+        store = CampaignStore("kill", root=str(tmp_path))
+        logs = []
+        executor = CampaignExecutor(
+            store, max_workers=2, worker_type="process", log=logs.append
+        )
+        outcomes = executor.submit(batch)
+
+        by_hash = {o.run_hash: o for o in outcomes}
+        assert by_hash[victim.run_hash()].status == "failed"
+        assert "worker process died" in by_hash[victim.run_hash()].error
+        siblings = [o for o in outcomes if o.run_hash != victim.run_hash()]
+        assert all(o.status == "completed" for o in siblings)
+        assert store.latest_records()[victim.run_hash()].status == FAILED
+        assert any("worker pool died" in line for line in logs)
+        assert not os.path.exists(fuse)
+
+        # Failed-by-crash is not a store hit: the resubmission retries
+        # the victim (the fuse is burnt out) and hits on the siblings.
+        again = executor.submit(batch)
+        by_hash = {o.run_hash: o for o in again}
+        assert by_hash[victim.run_hash()].status == "completed"
+        assert all(
+            o.skipped for o in again if o.run_hash != victim.run_hash()
+        )
+        summary = campaign_summary(store)
+        assert summary["completed"] == 4 and summary["failed"] == 0
+        assert summary["interrupted"] == 0
+
+    def test_transient_kill_recovers_within_one_submission(
+        self, tmp_path, monkeypatch
+    ):
+        """A one-shot kill (transient fault) is retried in isolation and
+        completes — no record of the crash survives the batch."""
+        batch = specs()
+        victim = batch[0]
+        self._arm_fuse(monkeypatch, tmp_path, victim.run_hash(), trips=1)
+        store = CampaignStore("transient", root=str(tmp_path))
+        outcomes = CampaignExecutor(
+            store, max_workers=2, worker_type="process"
+        ).submit(batch)
+        assert all(o.status == "completed" for o in outcomes)
+        assert all(
+            r.status == COMPLETED for r in store.latest_records().values()
+        )
+
+
+# -- cross-process store stress -----------------------------------------------
+
+def _stress_one(root, campaign, writer_id, hashes):
+    """Append records and write results for a shared set of hashes."""
+    store = CampaignStore(campaign, root=root)
+    from repro.campaign.store import RunRecord
+
+    for round_no in range(5):
+        for run_hash in hashes:
+            store.append(RunRecord(
+                run_hash=run_hash, status=RUNNING,
+                spec={"writer": writer_id},
+            ))
+            with store._write_lock():
+                store._write_result(
+                    run_hash,
+                    {"writer": writer_id, "round": round_no, "pad": "x" * 512},
+                )
+            store.append(RunRecord(
+                run_hash=run_hash, status=COMPLETED,
+                spec={"writer": writer_id},
+                result={"writer": writer_id, "round": round_no},
+            ))
+
+
+class TestCrossProcessStore:
+    def test_concurrent_writers_never_tear_the_index(self, tmp_path):
+        """N spawned processes hammering the same hashes: every index
+        line stays parseable, last-record-wins holds, and every
+        result.json is valid JSON."""
+        root, campaign = str(tmp_path), "stress"
+        hashes = [f"hash{i:02d}" for i in range(4)]
+        n_writers = 4
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(
+                target=_stress_one, args=(root, campaign, w, hashes)
+            )
+            for w in range(n_writers)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+
+        store = CampaignStore(campaign, root=root)
+        records = list(store.iter_records())
+        # 2 records per (writer, round, hash): nothing torn, nothing lost.
+        assert len(records) == 2 * n_writers * 5 * len(hashes)
+        latest = store.latest_records()
+        assert set(latest) == set(hashes)
+        for run_hash in hashes:
+            assert latest[run_hash].status == COMPLETED
+            result = store.load_result(run_hash)
+            assert result is not None
+            # The atomic replace means the result matches SOME complete
+            # write — a whole record, never an interleaving.
+            assert set(result) == {"writer", "round", "pad"}

@@ -1,5 +1,7 @@
-"""Run store: append-only index, last-record-wins, dedup, env root."""
+"""Run store: append-only index, last-record-wins, dedup, env root,
+crash tolerance (torn index lines, corrupt results)."""
 
+import json
 import os
 
 import pytest
@@ -52,6 +54,77 @@ class TestIndex:
 
     def test_unknown_result_is_none(self, store):
         assert store.load_result("cafebabe") is None
+
+
+class TestCrashTolerance:
+    """What a killed writer leaves behind must not wedge the store."""
+
+    def test_torn_trailing_index_line_is_skipped(self, store, spec, caplog):
+        """A crash mid-append leaves a partial trailing line; every
+        subsequent store open must still parse the complete records
+        (this used to raise JSONDecodeError out of iter_records)."""
+        store.record_failed(spec, "boom")
+        store.record_completed(spec, {"ok": True})
+        with open(store.index_path, "a", encoding="utf-8") as fh:
+            fh.write('{"run_hash": "dead", "status": "comp')  # no newline
+        with caplog.at_level("WARNING", logger="repro.campaign.store"):
+            records = list(store.iter_records())
+        assert [r.status for r in records] == [FAILED, COMPLETED]
+        assert any("unparseable" in rec.message for rec in caplog.records)
+        assert store.is_completed(spec.run_hash())
+        # The store stays writable: a later append supersedes cleanly.
+        store.record_failed(spec, "later")
+        assert not store.is_completed(spec.run_hash())
+
+    def test_corrupt_result_json_falls_back_to_index(
+        self, store, spec, caplog
+    ):
+        """An unreadable result.json is a miss with an index fallback,
+        not a crash (this used to raise out of load_result and take the
+        whole executor submit() down)."""
+        store.record_completed(spec, {"step_time": 1.5})
+        with open(store.result_path(spec.run_hash()), "w") as fh:
+            fh.write('{"step_time": 1.')  # torn by a crash
+        with caplog.at_level("WARNING", logger="repro.campaign.store"):
+            result = store.load_result(spec.run_hash())
+        assert result == {"step_time": 1.5}  # from the index record
+        assert any("unreadable result" in rec.message for rec in caplog.records)
+
+    def test_corrupt_result_without_index_record_is_a_miss(self, store):
+        path = store.result_path("cafebabe")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write("not json")
+        assert store.load_result("cafebabe") is None
+
+    def test_corrupt_result_does_not_crash_submit(self, tmp_path):
+        """Resubmitting a deck over a store whose result.json was torn
+        must run (or skip via the index fallback), never raise."""
+        from repro.campaign import CampaignExecutor
+
+        deck = CampaignDeck.from_dict(
+            {"name": "torn", "mode": "model", "base": {"order": "low"},
+             "grid": {"ranks": [4, 16]}}
+        )
+        store = CampaignStore("torn", root=str(tmp_path))
+        executor = CampaignExecutor(store, max_workers=1)
+        first = executor.submit(deck.expand())
+        assert all(o.status == "completed" for o in first)
+        for outcome in first:
+            with open(store.result_path(outcome.run_hash), "w") as fh:
+                fh.write("{torn")
+        again = executor.submit(deck.expand())
+        # The index record still carries the full result payload.
+        assert all(o.skipped for o in again)
+        assert all(o.result["step_time"] > 0 for o in again)
+
+    def test_result_write_is_atomic(self, store, spec):
+        """No temp droppings, and the payload arrives whole."""
+        store.record_completed(spec, {"big": "x" * 4096})
+        run_dir = store.run_dir(spec.run_hash())
+        assert [f for f in os.listdir(run_dir) if f.endswith(".tmp")] == []
+        with open(store.result_path(spec.run_hash())) as fh:
+            assert json.load(fh)["big"] == "x" * 4096
 
 
 class TestLayout:
