@@ -31,6 +31,7 @@ from repro.campaign.executor import (
     WORKER_TYPES,
     CampaignExecutor,
     RunOutcome,
+    configure_logging,
     resolve_worker_type,
 )
 from repro.campaign.report import (
@@ -54,6 +55,7 @@ __all__ = [
     "CampaignExecutor",
     "RunOutcome",
     "WORKER_TYPES",
+    "configure_logging",
     "resolve_worker_type",
     "CampaignStore",
     "RunRecord",

@@ -50,9 +50,11 @@ scaling points.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import signal
+import threading
 import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
@@ -66,6 +68,7 @@ from repro.campaign.scheduler import (
     estimate_cost,
     evaluation_model,
     longest_job_first,
+    makespan_estimate,
 )
 from repro.campaign.store import (
     COMPLETED,
@@ -78,9 +81,63 @@ from repro.core.solver import Solver
 from repro.io.checkpoint import load_checkpoint
 from repro.machine.model import LASSEN, MachineSpec
 from repro.machine.patterns import step_time
+from repro.mpi.trace import CommTrace
+from repro.telemetry.artifacts import TELEMETRY_SCHEMA, build_run_telemetry
+from repro.telemetry.metrics import MetricsRegistry
 from repro.util.errors import ConfigurationError, RunBudgetExceededError
 
-__all__ = ["RunOutcome", "CampaignExecutor", "WORKER_TYPES"]
+__all__ = [
+    "RunOutcome",
+    "CampaignExecutor",
+    "WORKER_TYPES",
+    "configure_logging",
+]
+
+#: The campaign subsystem's logger.  Executor progress lines go through
+#: here (stdlib ``logging``) unless a legacy ``log=`` callback is
+#: installed; :func:`configure_logging` wires it to stderr for the CLI.
+logger = logging.getLogger("repro.campaign")
+
+#: Environment override for the campaign log level (name or number),
+#: e.g. ``REPRO_LOG=DEBUG rocketrig campaign ...``.  CLI ``-v``/
+#: ``--quiet`` flags win over the environment.
+LOG_LEVEL_ENV = "REPRO_LOG"
+
+
+def configure_logging(verbosity: int = 0) -> int:
+    """Configure the ``repro.campaign`` logger for console use.
+
+    ``verbosity`` shifts the level relative to INFO: positive (``-v``)
+    toward DEBUG, negative (``--quiet``) toward WARNING.  With
+    ``verbosity == 0`` the ``$REPRO_LOG`` environment variable (level
+    name or number) is honored instead.  Installs a stderr handler with
+    wall-clock timestamps on the campaign logger only — library users
+    who configure logging themselves are unaffected because the
+    executor never calls this.  Returns the effective level.
+    """
+    level: int = logging.INFO
+    if verbosity > 0:
+        level = logging.DEBUG
+    elif verbosity < 0:
+        level = logging.WARNING
+    else:
+        env = os.environ.get(LOG_LEVEL_ENV, "").strip()
+        if env:
+            if env.isdigit():
+                level = int(env)
+            else:
+                level = getattr(logging, env.upper(), logging.INFO)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)s %(message)s", "%H:%M:%S"
+            )
+        )
+        logger.addHandler(handler)
+        logger.propagate = False
+    logger.setLevel(level)
+    return level
 
 WORKER_TYPES = ("thread", "process", "serial")
 
@@ -158,6 +215,8 @@ class CampaignExecutor:
         checkpoint_freq: int = 0,
         worker_type: Optional[str] = None,
         log: Optional[Callable[[str], None]] = None,
+        telemetry: bool = True,
+        status_interval: float = 0.0,
     ) -> None:
         self.store = store
         self.max_workers = max(1, int(max_workers))
@@ -174,10 +233,26 @@ class CampaignExecutor:
         self.checkpoint_freq = int(checkpoint_freq)
         self.worker_type = resolve_worker_type(worker_type)
         self._log = log
+        #: Collect a timed per-run CommTrace and publish a
+        #: ``telemetry.json`` artifact per completed functional run.
+        self.telemetry = bool(telemetry)
+        #: Heartbeat period (seconds) for live ``status.json`` snapshots
+        #: and one-line progress summaries during ``submit``; 0 disables
+        #: the heartbeat thread (initial/final snapshots still land).
+        self.status_interval = float(status_interval)
+        #: Campaign-level metrics (store hits, pool respawns, retries,
+        #: run-elapsed histogram); worker-process snapshots merge in.
+        self.metrics = MetricsRegistry()
+        self._status: Optional[_StatusBoard] = None
 
     def log(self, message: str) -> None:
+        """Progress line: legacy callback when installed, else the
+        ``repro.campaign`` stdlib logger."""
+        line = f"[campaign {self.store.campaign}] {message}"
         if self._log is not None:
-            self._log(f"[campaign {self.store.campaign}] {message}")
+            self._log(line)
+        else:
+            logger.info(line)
 
     # -- batch submission ------------------------------------------------------
 
@@ -202,33 +277,59 @@ class CampaignExecutor:
                 outcomes[run_hash] = RunOutcome(
                     spec=spec, run_hash=run_hash, status="skipped", result=result
                 )
+                self.metrics.counter("campaign.store_hits").inc()
                 self.log(f"{run_hash} store hit — skipped ({spec.describe()})")
             else:
                 to_run.append(spec)
 
         ordered = longest_job_first(to_run, self.machine)
-        if ordered:
-            self.log(
-                f"dispatching {len(ordered)} runs on {self.max_workers} "
-                f"{self.worker_type} workers (longest-job-first, modeled "
-                f"head cost {estimate_cost(ordered[0], self.machine):.3g}s)"
-            )
-            if self.worker_type == "process":
-                self._submit_process(ordered, outcomes)
-            elif self.worker_type == "thread":
-                self._submit_threads(ordered, outcomes)
-            else:
-                for spec in ordered:
-                    outcome = self.run_one(spec)
-                    outcomes[outcome.run_hash] = outcome
+        board = _StatusBoard(self, unique)
+        for run_hash, outcome in outcomes.items():
+            board.mark(run_hash, "skipped")
+        self._status = board
+        board.publish()
+        heartbeat = board.start_heartbeat(self.status_interval)
+        clean_exit = False
+        try:
+            if ordered:
+                self.log(
+                    f"dispatching {len(ordered)} runs on {self.max_workers} "
+                    f"{self.worker_type} workers (longest-job-first, modeled "
+                    f"head cost {estimate_cost(ordered[0], self.machine):.3g}s)"
+                )
+                if self.worker_type == "process":
+                    self._submit_process(ordered, outcomes)
+                elif self.worker_type == "thread":
+                    self._submit_threads(ordered, outcomes)
+                else:
+                    for spec in ordered:
+                        outcome = self._run_tracked(spec)
+                        outcomes[outcome.run_hash] = outcome
+            clean_exit = True
+        finally:
+            board.stop_heartbeat(heartbeat)
+            board.finalize(interrupted=not clean_exit)
+            self._status = None
         return [outcomes[spec.run_hash()] for spec in specs]
+
+    def _run_tracked(self, spec: RunSpec) -> RunOutcome:
+        """``run_one`` plus status-board transitions (thread/serial path)."""
+        self._mark(spec.run_hash(), "running")
+        outcome = self.run_one(spec)
+        self._mark(outcome.run_hash, outcome.status)
+        return outcome
+
+    def _mark(self, run_hash: str, state: str) -> None:
+        board = self._status
+        if board is not None:
+            board.mark(run_hash, state)
 
     def _submit_threads(
         self, ordered: Sequence[RunSpec], outcomes: dict[str, RunOutcome]
     ) -> None:
         pool = ThreadPoolExecutor(max_workers=self.max_workers)
         try:
-            for outcome in pool.map(self.run_one, ordered):
+            for outcome in pool.map(self._run_tracked, ordered):
                 outcomes[outcome.run_hash] = outcome
         except BaseException:
             # Ctrl-C (or a submit-side error) must not let the queued
@@ -253,6 +354,7 @@ class CampaignExecutor:
             "collective_timeout": self.collective_timeout,
             "checkpoint_freq": self.checkpoint_freq,
             "machine": self.machine,
+            "telemetry": self.telemetry,
         }
 
     def _submit_process(
@@ -303,6 +405,7 @@ class CampaignExecutor:
                 f"worker pool died with {len(broken)} runs unresolved — "
                 f"respawning"
             )
+            self.metrics.counter("campaign.pool_respawns").inc()
             progressed = resolved > 0
             latest = self.store.latest_records()
             for spec in broken:
@@ -312,9 +415,13 @@ class CampaignExecutor:
                     progressed = True
                 elif record is not None and record.status == RUNNING:
                     suspects.append(spec)
+                    self._mark(run_hash, "queued")
+                    self.metrics.counter("campaign.retries").inc()
                     progressed = True
                 else:
                     queue.append(spec)
+                    self._mark(run_hash, "queued")
+                    self.metrics.counter("campaign.retries").inc()
             stalls = 0 if progressed else stalls + 1
             if stalls >= _MAX_POOL_STALLS and queue:
                 # The pool keeps dying before any run can even claim
@@ -331,6 +438,7 @@ class CampaignExecutor:
                         spec=spec, run_hash=spec.run_hash(), status="failed",
                         error=error,
                     )
+                    self._mark(spec.run_hash(), "failed")
                     self.log(f"{spec.run_hash()} FAILED: {error}")
                 return
 
@@ -355,12 +463,14 @@ class CampaignExecutor:
                 elapsed=record.elapsed,
                 resumed_from_step=record.resumed_from_step,
             )
+            self._mark(run_hash, "completed")
             return True
         if record.status == FAILED:
             outcomes[run_hash] = RunOutcome(
                 spec=spec, run_hash=run_hash, status="failed",
                 error=record.error, elapsed=record.elapsed,
             )
+            self._mark(run_hash, "failed")
             return True
         return False
 
@@ -397,6 +507,7 @@ class CampaignExecutor:
                     broken.extend(specs[i:])
                     break
                 futures.append((future, spec))
+                self._mark(spec.run_hash(), "running")
             for future, spec in futures:
                 run_hash = spec.run_hash()
                 try:
@@ -413,13 +524,13 @@ class CampaignExecutor:
                         spec=spec, run_hash=run_hash, status="failed",
                         error=error,
                     )
+                    self._mark(run_hash, "failed")
                     self.log(f"{run_hash} FAILED at dispatch "
                              f"({spec.describe()})")
                     resolved += 1
                 else:
-                    for line in payload.get("log", []):
-                        if self._log is not None:
-                            self._log(line)
+                    self._replay_worker_logs(payload.get("log", []))
+                    self.metrics.merge(payload.get("metrics") or {})
                     outcomes[run_hash] = RunOutcome(
                         spec=spec,
                         run_hash=payload["run_hash"],
@@ -429,12 +540,48 @@ class CampaignExecutor:
                         elapsed=payload["elapsed"],
                         resumed_from_step=payload["resumed_from_step"],
                     )
+                    self._mark(run_hash, payload["status"])
                     resolved += 1
         except BaseException:
             pool.shutdown(wait=False, cancel_futures=True)
             raise
         pool.shutdown(wait=True)
         return broken, resolved
+
+    def _replay_worker_logs(self, entries: Sequence[Any]) -> None:
+        """Re-emit a worker process's buffered log lines.
+
+        Workers buffer their progress lines with per-line wall-clock
+        timestamps; replaying through ``logger.makeRecord`` with the
+        original ``created`` time keeps interleaved campaign logs honest
+        — a line reads as of when the worker wrote it, not when the
+        parent drained the payload.  Bare-string entries (old-format
+        payloads) replay without a timestamp.
+        """
+        for entry in entries:
+            if (
+                isinstance(entry, (list, tuple))
+                and len(entry) == 2
+                and isinstance(entry[1], str)
+            ):
+                stamp, line = float(entry[0]), entry[1]
+            else:
+                stamp, line = None, str(entry)
+            if self._log is not None:
+                self._log(line)
+                continue
+            if not logger.isEnabledFor(logging.INFO):
+                continue
+            record = logger.makeRecord(
+                logger.name, logging.INFO, "worker", 0, line, (), None
+            )
+            if stamp is not None:
+                record.created = stamp
+                record.msecs = (stamp - int(stamp)) * 1000.0
+                record.relativeCreated = (
+                    stamp - logging._startTime  # noqa: SLF001 - stdlib epoch
+                ) * 1000.0
+            logger.handle(record)
 
     def _record_worker_death(
         self, spec: RunSpec, outcomes: dict[str, RunOutcome]
@@ -449,6 +596,7 @@ class CampaignExecutor:
         outcomes[run_hash] = RunOutcome(
             spec=spec, run_hash=run_hash, status="failed", error=error,
         )
+        self._mark(run_hash, "failed")
         self.log(f"{run_hash} FAILED: worker process died "
                  f"({spec.describe()})")
 
@@ -473,6 +621,7 @@ class CampaignExecutor:
             elapsed = time.perf_counter() - start
             error = traceback.format_exc(limit=20)
             self.store.record_failed(spec, error, elapsed=elapsed)
+            self.metrics.counter("campaign.runs_failed").inc()
             self.log(f"{run_hash} FAILED after {elapsed:.2f}s ({spec.describe()})")
             return RunOutcome(
                 spec=spec, run_hash=run_hash, status="failed",
@@ -482,6 +631,8 @@ class CampaignExecutor:
         self.store.record_completed(
             spec, result, elapsed=elapsed, resumed_from_step=resumed
         )
+        self.metrics.counter("campaign.runs_completed").inc()
+        self.metrics.histogram("campaign.run_elapsed").observe(elapsed)
         note = f" (resumed from step {resumed})" if resumed else ""
         self.log(f"{run_hash} completed in {elapsed:.2f}s{note} ({spec.describe()})")
         return RunOutcome(
@@ -546,11 +697,23 @@ class CampaignExecutor:
             solver.run(spec.steps - solver.step_count, on_step=on_step)
             return solver.diagnostics()
 
+        trace = CommTrace() if self.telemetry else None
+        t_run = time.perf_counter()
         results = mpi.run_spmd(
-            spec.ranks, program, timeout=self.collective_timeout
+            spec.ranks, program, trace=trace, timeout=self.collective_timeout
         )
+        run_wall = time.perf_counter() - t_run
         diagnostics = results[0]
         self._remove_checkpoint(ckpt_path)
+        if trace is not None:
+            self.store.write_telemetry(
+                run_hash,
+                build_run_telemetry(
+                    trace,
+                    elapsed=run_wall,
+                    extra={"run_hash": run_hash, "ranks": spec.ranks},
+                ),
+            )
         return {"kind": "functional", "diagnostics": diagnostics}, resumed_from
 
     @staticmethod
@@ -576,6 +739,154 @@ class CampaignExecutor:
                 for name, cost in model.phases.items()
             },
         }
+
+
+class _StatusBoard:
+    """Live status of one submitted batch.
+
+    Tracks every unique run hash through ``queued → running →
+    completed/failed/skipped`` (plus ``interrupted`` when ``submit``
+    unwinds on an interrupt), renders the snapshot external tools poll
+    as ``status.json`` (written atomically in the campaign root), and —
+    on a heartbeat interval — logs a one-line progress summary with a
+    longest-job-first modeled ETA for the remainder.
+    """
+
+    _TERMINAL = frozenset(("completed", "failed", "skipped", "interrupted"))
+
+    def __init__(
+        self, executor: "CampaignExecutor", specs: dict[str, RunSpec]
+    ) -> None:
+        self._executor = executor
+        self._specs = dict(specs)
+        self._lock = threading.Lock()
+        self._state: dict[str, str] = {h: "queued" for h in specs}
+        self._started: dict[str, float] = {}
+        self._elapsed: dict[str, float] = {}
+
+    def mark(self, run_hash: str, state: str) -> None:
+        """Transition one run; unknown hashes are ignored (a retried
+        run may resolve under a worker-reported hash)."""
+        now = time.perf_counter()
+        with self._lock:
+            if run_hash not in self._state:
+                return
+            if state == "running":
+                self._started[run_hash] = now
+            elif run_hash in self._started:
+                self._elapsed[run_hash] = now - self._started.pop(run_hash)
+            self._state[run_hash] = state
+
+    def snapshot(self) -> dict[str, Any]:
+        """The JSON-able status document (the ``status.json`` schema)."""
+        executor = self._executor
+        now = time.perf_counter()
+        with self._lock:
+            states = dict(self._state)
+            started = dict(self._started)
+            elapsed = dict(self._elapsed)
+        counts = {
+            key: 0
+            for key in (
+                "queued", "running", "completed", "failed", "skipped",
+                "interrupted",
+            )
+        }
+        for state in states.values():
+            counts[state] = counts.get(state, 0) + 1
+        remaining = [
+            self._specs[h]
+            for h, state in states.items()
+            if state in ("queued", "running")
+        ]
+        eta = (
+            makespan_estimate(remaining, executor.max_workers, executor.machine)
+            if remaining
+            else 0.0
+        )
+        runs: dict[str, Any] = {}
+        for run_hash, state in states.items():
+            entry: dict[str, Any] = {"state": state}
+            if run_hash in started:
+                entry["elapsed"] = now - started[run_hash]
+            elif run_hash in elapsed:
+                entry["elapsed"] = elapsed[run_hash]
+            runs[run_hash] = entry
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "campaign": executor.store.campaign,
+            "timestamp": time.time(),
+            "worker_type": executor.worker_type,
+            "max_workers": executor.max_workers,
+            "total": len(states),
+            "counts": counts,
+            "eta_modeled_seconds": eta,
+            "done": all(s in self._TERMINAL for s in states.values()),
+            "runs": runs,
+            "metrics": executor.metrics.snapshot(),
+        }
+
+    def publish(self) -> dict[str, Any]:
+        """Snapshot + atomic ``status.json`` write (I/O errors are
+        swallowed: status is advisory, never worth failing a run)."""
+        snap = self.snapshot()
+        try:
+            self._executor.store.write_status(snap)
+        except OSError:  # pragma: no cover - disk-full style failures
+            pass
+        return snap
+
+    @staticmethod
+    def summary_line(snap: dict[str, Any]) -> str:
+        counts = snap["counts"]
+        line = (
+            f"status: {counts['completed']}/{snap['total']} completed, "
+            f"{counts['running']} running, {counts['queued']} queued, "
+            f"{counts['failed']} failed, {counts['skipped']} skipped"
+        )
+        if not snap["done"]:
+            line += f" — modeled ETA {snap['eta_modeled_seconds']:.3g}s"
+        return line
+
+    def start_heartbeat(
+        self, interval: float
+    ) -> Optional[tuple[threading.Event, threading.Thread]]:
+        if interval <= 0:
+            return None
+
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                snap = self.publish()
+                self._executor.log(self.summary_line(snap))
+                if snap["done"]:
+                    return
+
+        thread = threading.Thread(
+            target=beat, name="campaign-status", daemon=True
+        )
+        thread.start()
+        return (stop, thread)
+
+    def stop_heartbeat(
+        self, handle: Optional[tuple[threading.Event, threading.Thread]]
+    ) -> None:
+        if handle is None:
+            return
+        stop, thread = handle
+        stop.set()
+        thread.join(timeout=5.0)
+
+    def finalize(self, *, interrupted: bool) -> dict[str, Any]:
+        """Terminal snapshot: non-terminal runs become ``interrupted``
+        when the batch unwound on an interrupt/error."""
+        if interrupted:
+            with self._lock:
+                for run_hash, state in self._state.items():
+                    if state not in self._TERMINAL:
+                        self._state[run_hash] = "interrupted"
+        return self.publish()
 
 
 def _maybe_trip_kill_fuse(run_hash: str) -> None:
@@ -620,7 +931,10 @@ def _process_worker(
     """
     spec = RunSpec.from_payload(payload, campaign=campaign)
     store = CampaignStore(campaign, root=store_root)
-    logs: list[str] = []
+    # Each buffered line carries the wall-clock time it was produced, so
+    # the parent can replay it with its original timestamp instead of
+    # the (much later) drain time.
+    logs: list[tuple[float, str]] = []
     executor = CampaignExecutor(
         store,
         max_workers=1,
@@ -629,7 +943,8 @@ def _process_worker(
         collective_timeout=settings["collective_timeout"],
         machine=settings["machine"],
         checkpoint_freq=settings["checkpoint_freq"],
-        log=logs.append,
+        telemetry=settings.get("telemetry", True),
+        log=lambda line: logs.append((time.time(), line)),
     )
     store.record_running(spec)
     _maybe_trip_kill_fuse(spec.run_hash())
@@ -642,4 +957,5 @@ def _process_worker(
         "elapsed": outcome.elapsed,
         "resumed_from_step": outcome.resumed_from_step,
         "log": logs,
+        "metrics": executor.metrics.snapshot(),
     }

@@ -4,8 +4,10 @@ Layout, rooted at ``$REPRO_RESULTS_DIR`` (default ``results/``)::
 
     results/campaigns/<campaign>/index.jsonl      append-only run records
     results/campaigns/<campaign>/.store.lock      advisory inter-process lock
+    results/campaigns/<campaign>/status.json      live executor heartbeat
     results/campaigns/<campaign>/runs/<hash>/     per-run artifact dir
         result.json                               diagnostics / model payload
+        telemetry.json                            measured wall-clock artifact
         checkpoint.npz                            in-progress solver state
 
 The index is append-only and the *last* record per run hash wins, so a
@@ -41,13 +43,13 @@ import contextlib
 import json
 import logging
 import os
-import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 from repro.campaign.deck import RunSpec
+from repro.telemetry.artifacts import atomic_write_json
 from repro.util.errors import ConfigurationError
 
 try:
@@ -157,6 +159,13 @@ class CampaignStore:
 
     def result_path(self, run_hash: str) -> str:
         return os.path.join(self.run_dir(run_hash), "result.json")
+
+    def telemetry_path(self, run_hash: str) -> str:
+        return os.path.join(self.run_dir(run_hash), "telemetry.json")
+
+    @property
+    def status_path(self) -> str:
+        return os.path.join(self.root, "status.json")
 
     # -- locking --------------------------------------------------------------
 
@@ -287,32 +296,46 @@ class CampaignStore:
     # -- results --------------------------------------------------------------
 
     def _write_result(self, run_hash: str, result: dict[str, Any]) -> None:
-        """Atomically publish ``result.json`` (temp file + ``os.replace``)."""
-        directory = self.run_dir(run_hash, create=True)
-        fd, tmp_path = tempfile.mkstemp(
-            prefix="result.", suffix=".tmp", dir=directory
-        )
+        """Atomically publish ``result.json`` (mkstemp + ``os.replace``,
+        via the shared :func:`~repro.telemetry.artifacts.atomic_write_json`
+        primitive)."""
+        self.run_dir(run_hash, create=True)
+        atomic_write_json(self.result_path(run_hash), result)
+
+    def write_telemetry(self, run_hash: str, telemetry: dict[str, Any]) -> str:
+        """Atomically publish a run's measured ``telemetry.json``.
+
+        Same durability discipline as ``result.json``; returns the
+        artifact path.  ``campaign.report`` addresses the document with
+        ``telemetry.``-prefixed dotted keys.
+        """
+        self.run_dir(run_hash, create=True)
+        path = self.telemetry_path(run_hash)
+        atomic_write_json(path, telemetry)
+        return path
+
+    def load_telemetry(self, run_hash: str) -> Optional[dict[str, Any]]:
+        """A run's telemetry artifact, or ``None`` when there is none.
+
+        Like :meth:`load_result`, an unreadable document is a miss, not
+        an error — telemetry is advisory and must never wedge a report.
+        """
+        path = self.telemetry_path(run_hash)
+        if not os.path.exists(path):
+            return None
         try:
-            # mkstemp creates 0600; restore the umask-default mode a
-            # plain open() would have produced (shared results trees
-            # stay readable by their other consumers).
-            try:
-                umask = os.umask(0)
-                os.umask(umask)
-                os.fchmod(fd, 0o666 & ~umask)
-            except (AttributeError, OSError):  # pragma: no cover - non-POSIX
-                pass
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(result, fh, indent=2, default=str)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp_path, self.result_path(run_hash))
-        except BaseException:
-            try:
-                os.remove(tmp_path)
-            except OSError:
-                pass
-            raise
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError, UnicodeDecodeError) as exc:
+            logger.warning("%s: discarding unreadable telemetry (%s)", path, exc)
+            return None
+
+    def write_status(self, status: dict[str, Any]) -> str:
+        """Atomically publish the campaign-level ``status.json`` heartbeat
+        (external tools poll this file; a torn read is impossible)."""
+        os.makedirs(self.root, exist_ok=True)
+        atomic_write_json(self.status_path, status)
+        return self.status_path
 
     def record_running(self, spec: RunSpec) -> RunRecord:
         """Claim marker: a worker is about to execute this run.

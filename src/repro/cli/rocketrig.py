@@ -75,6 +75,7 @@ examples:
             --steps 30 --ranks 4 --outdir results/rig
   rocketrig --nodes 128 --order high --br-solver tree --theta 0.5 \\
             --free-boundaries --ic multi_mode --steps 10 --trace
+  rocketrig --nodes 64 --ranks 4 --steps 5 --profile run.trace.json
   rocketrig campaign examples/decks/smoke.json --workers 4
   rocketrig campaign examples/decks/smoke.json --worker-type process \\
             --timeout 3600 --collective-timeout 600
@@ -167,6 +168,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--write-freq", type=int, default=10)
     run.add_argument("--trace", action="store_true",
                      help="print a communication summary and modeled cost")
+    run.add_argument("--profile", metavar="PATH", default=None,
+                     help="export a Chrome-trace-event (Perfetto) profile "
+                          "of the run to PATH (one track per rank, phase "
+                          "spans, send/recv flow arrows; open at "
+                          "ui.perfetto.dev) and print a model-vs-measured "
+                          "per-phase drift table")
+
+    logging_group = parser.add_argument_group("logging")
+    logging_group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="campaign logging at DEBUG (repeatable; overrides $REPRO_LOG)")
+    logging_group.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="campaign logging at WARNING only (overrides $REPRO_LOG)")
 
     sub = parser.add_subparsers(dest="command", metavar="subcommand")
     camp = sub.add_parser(
@@ -208,7 +223,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "(0 = off)")
     camp.add_argument("--report", nargs="+", default=None, metavar="FIELD",
                       help="dotted record fields to tabulate, e.g. "
-                           "config.fft_config ranks result.step_time")
+                           "config.fft_config ranks result.step_time "
+                           "telemetry.phase.fft.wall")
+    camp.add_argument("--status-interval", type=float, default=5.0,
+                      metavar="SECONDS",
+                      help="heartbeat period for live status: a one-line "
+                           "progress summary is logged and status.json is "
+                           "rewritten atomically in the campaign root every "
+                           "N seconds (0 disables the heartbeat; default 5)")
     return parser
 
 
@@ -245,7 +267,8 @@ def run_from_args(args: argparse.Namespace) -> dict:
         kind=args.ic, magnitude=args.magnitude, period=args.period,
         seed=args.seed,
     )
-    trace = mpi.CommTrace() if args.trace else None
+    profile_path = getattr(args, "profile", None)
+    trace = mpi.CommTrace() if (args.trace or profile_path) else None
     writer = SiloWriter(args.outdir, "rocketrig") if args.outdir else None
 
     def program(comm):
@@ -291,7 +314,7 @@ def run_from_args(args: argparse.Namespace) -> dict:
               f"{tree_stats['nodes']} nodes, depth {tree_stats['depth']}")
     if writer is not None and writer.written:
         print(f"  wrote {len(writer.written)} VTK dumps to {args.outdir}")
-    if trace is not None:
+    if trace is not None and args.trace:
         replay = replay_trace(trace, LASSEN)
         print(f"  trace: {len(trace.events)} comm events, "
               f"{trace.total_bytes()} bytes shipped")
@@ -300,6 +323,19 @@ def run_from_args(args: argparse.Namespace) -> dict:
             print(f"    modeled {phase:>12}: comm {comm_t*1e3:9.3f} ms  "
                   f"compute {comp_t*1e3:9.3f} ms")
         print(f"    modeled total: {replay.total*1e3:.2f} ms")
+    if trace is not None and profile_path:
+        from repro.telemetry import write_chrome_trace
+        from repro.telemetry.drift import drift_report, format_drift_table
+
+        payload = write_chrome_trace(
+            profile_path, trace,
+            process_name=f"rocketrig {args.order} {args.nodes}x{args.nodes}",
+        )
+        print(f"  profile: {len(payload['traceEvents'])} trace events "
+              f"-> {profile_path} (open at https://ui.perfetto.dev)")
+        report = drift_report(trace, LASSEN)
+        for line in format_drift_table(report).splitlines():
+            print(f"  {line}")
     return diag
 
 
@@ -311,8 +347,13 @@ def run_campaign_from_args(args: argparse.Namespace) -> dict:
         CampaignStore,
         campaign_summary,
         campaign_table,
+        configure_logging,
         format_table,
         makespan_estimate,
+    )
+
+    configure_logging(
+        getattr(args, "verbose", 0) - getattr(args, "quiet", 0)
     )
 
     try:
@@ -329,7 +370,7 @@ def run_campaign_from_args(args: argparse.Namespace) -> dict:
             collective_timeout=args.collective_timeout,
             checkpoint_freq=args.checkpoint_freq,
             worker_type=args.worker_type,
-            log=print,
+            status_interval=getattr(args, "status_interval", 0.0),
         )
     except ReproError as exc:
         raise SystemExit(f"rocketrig campaign: {exc}")

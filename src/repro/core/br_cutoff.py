@@ -150,13 +150,14 @@ class CutoffBRSolver:
             return False
         if self.rebuild_freq > 0 and cache.reuses >= self.rebuild_freq:
             return False
+        t0 = trace.clock()
         disp = self.backend.max_displacement(positions, cache.ref_positions)
         n = positions.shape[0]
         trace.record_compute(
             "max_displacement", comm.rank,
             flops=DISPLACEMENT_FLOPS * max(n, 1),
             bytes_moved=DISPLACEMENT_BYTES * max(n, 1),
-            items=n,
+            items=n, t_wall=trace.clock_since(t0),
         )
         return comm.allreduce(disp, op=MAX) <= 0.5 * self.skin
 
@@ -215,8 +216,10 @@ class CutoffBRSolver:
             skin_lists, pair_targets = cache.lists, cache.pair_targets
             cache.reuses += 1
             self.reuse_count += 1
+            trace.metrics.counter("neighbor_cache.reuses").inc()
         else:
             with trace.phase("neighbor"):
+                t0 = trace.clock()
                 skin_lists = neighbor_lists(
                     mig.positions, sources, self.cutoff + self.skin
                 )
@@ -229,8 +232,10 @@ class CutoffBRSolver:
                     bytes_moved=24.0 * max(sources.shape[0], 1)
                     + SEARCH_BYTES * candidates,
                     items=skin_lists.total_neighbors,
+                    t_wall=trace.clock_since(t0),
                 )
             self.rebuild_count += 1
+            trace.metrics.counter("neighbor_cache.rebuilds").inc()
             if caching:
                 pair_targets = skin_lists.pair_targets()
                 self._cache = _SpatialCache(
@@ -246,6 +251,7 @@ class CutoffBRSolver:
             # against the *current* positions: exactly the pair set a
             # fresh build at ``cutoff`` would find.
             with trace.phase("neighbor_cache"):
+                t0 = trace.clock()
                 lists = restrict_lists(
                     skin_lists, mig.positions, sources, self.cutoff,
                     pair_targets=pair_targets,
@@ -256,7 +262,7 @@ class CutoffBRSolver:
                     flops=FILTER_FLOPS * max(skin_pairs, 1),
                     bytes_moved=FILTER_BYTES * max(skin_pairs, 1)
                     + 24.0 * max(sources.shape[0], 1),
-                    items=skin_pairs,
+                    items=skin_pairs, t_wall=trace.clock_since(t0),
                 )
         else:
             lists = skin_lists

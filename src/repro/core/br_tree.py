@@ -151,6 +151,7 @@ class TreeBRSolver:
         n_global = sources.shape[0]
 
         with trace.phase("tree_build"):
+            t0 = trace.clock()
             tree = build_quadtree(
                 sources, source_omega, self.leaf_size, backend=self.backend
             )
@@ -158,16 +159,18 @@ class TreeBRSolver:
                 "tree_moments", comm.rank,
                 flops=MOMENT_FLOPS * n_global,
                 bytes_moved=MOMENT_BYTES * n_global,
-                items=n_global,
+                items=n_global, t_wall=trace.clock_since(t0),
             )
+            trace.metrics.counter("tree.builds").inc()
 
         with trace.phase("tree_walk"):
+            t0 = trace.clock()
             pairs = tree.mac_pairs(targets, self.theta)
             trace.record_compute(
                 "mac_walk", comm.rank,
                 flops=WALK_FLOPS * max(pairs.examined, 1),
                 bytes_moved=WALK_BYTES * max(pairs.examined, 1),
-                items=pairs.examined,
+                items=pairs.examined, t_wall=trace.clock_since(t0),
             )
 
         out = np.zeros((nt, 3))
@@ -175,6 +178,7 @@ class TreeBRSolver:
         eps2 = self.eps ** 2
         with trace.phase("br_compute"):
             if pairs.far_count:
+                t0 = trace.clock()
                 self.backend.farfield_eval(
                     targets,
                     tree.node_center,
@@ -191,7 +195,7 @@ class TreeBRSolver:
                     "tree_farfield", comm.rank,
                     flops=FARFIELD_FLOPS * pairs.far_count,
                     bytes_moved=FARFIELD_BYTES * pairs.far_count,
-                    items=pairs.far_count,
+                    items=pairs.far_count, t_wall=trace.clock_since(t0),
                 )
             if pairs.near_count:
                 out += br_velocity_neighbors(

@@ -76,6 +76,7 @@ def br_velocity_allpairs(
         return out
     prefactor = dA / (4.0 * np.pi)
     eps2 = float(eps) ** 2
+    t0 = trace.clock() if trace is not None else None
     bk.br_allpairs(
         tgt, src, om, eps2, prefactor, out,
         symmetric=symmetric, batch_pairs=batch_pairs,
@@ -85,7 +86,7 @@ def br_velocity_allpairs(
         trace.record_compute(
             "br_allpairs", rank,
             flops=PAIR_FLOPS * pairs, bytes_moved=_PAIR_BYTES * pairs,
-            items=int(pairs),
+            items=int(pairs), t_wall=trace.clock_since(t0),
         )
     return out
 
@@ -120,6 +121,7 @@ def br_velocity_neighbors(
         return out
     prefactor = dA / (4.0 * np.pi)
     eps2 = float(eps) ** 2
+    t0 = trace.clock() if trace is not None else None
     bk.br_neighbors(
         tgt, src, om, offsets, indices, eps2, prefactor, out,
         batch_pairs=batch_pairs,
@@ -129,6 +131,6 @@ def br_velocity_neighbors(
             "br_neighbors", rank,
             flops=PAIR_FLOPS * total_pairs,
             bytes_moved=_PAIR_BYTES * total_pairs,
-            items=total_pairs,
+            items=total_pairs, t_wall=trace.clock_since(t0),
         )
     return out

@@ -298,6 +298,7 @@ class Solver:
         self.integrator.step(self.dt)
         self.time += self.dt
         self.step_count += 1
+        self.comm.trace.metrics.counter("solver.steps").inc()
 
     def run(
         self,

@@ -81,13 +81,14 @@ class TimeIntegrator:
         for au, a0, adu in self._STAGE_COEFFS:
             zdot, wdot = self.zmodel.compute_derivatives()
             with trace.phase("integrate"):
+                t0 = trace.clock()
                 bk.rk3_axpy(z, z, au, z0, a0, zdot, adu * dt)
                 bk.rk3_axpy(w, w, au, w0, a0, wdot, adu * dt)
                 trace.record_compute(
                     "rk3_axpy", rank,
                     flops=AXPY_FLOPS * elements,
                     bytes_moved=_AXPY_BYTES * elements,
-                    items=elements,
+                    items=elements, t_wall=trace.clock_since(t0),
                 )
 
 

@@ -162,12 +162,13 @@ class ZModel:
             g1_hat = self.fft.forward(w_own[..., 0])
             g2_hat = self.fft.forward(w_own[..., 1])
             kx, ky = self.fft.brick_wavenumbers(mesh.global_mesh.extent)
+            t0 = trace.clock()
             w3_hat = self.backend.riesz_w3hat(g1_hat, g2_hat, kx, ky)
             trace.record_compute(
                 "riesz", mesh.rank,
                 flops=12.0 * w3_hat.size,
                 bytes_moved=3.0 * 16 * w3_hat.size,
-                items=w3_hat.size,
+                items=w3_hat.size, t_wall=trace.clock_since(t0),
             )
             w3 = self.fft.backward_real(w3_hat)
         out = np.zeros(w3.shape + (3,))
@@ -206,6 +207,7 @@ class ZModel:
         w_own = pm.w.own
 
         with trace.phase("stencil"):
+            t0 = trace.clock()
             t1 = self.backend.stencil_dx(z_full, dx_)
             t2 = self.backend.stencil_dy(z_full, dy_)
             normal = ops.cross(t1, t2)
@@ -217,7 +219,7 @@ class ZModel:
                 "geometry", mesh.rank,
                 flops=40.0 * omega[..., 0].size,
                 bytes_moved=11.0 * 8 * omega[..., 0].size,
-                items=omega[..., 0].size,
+                items=omega[..., 0].size, t_wall=trace.clock_since(t0),
             )
 
         need_fft = self.order in (Order.LOW, Order.MEDIUM)
@@ -237,6 +239,7 @@ class ZModel:
         pm.gather_field(phi_full)
 
         with trace.phase("stencil"):
+            t0 = trace.clock()
             dphi1 = self.backend.stencil_dx(phi_full, dx_)[..., 0]
             dphi2 = self.backend.stencil_dy(phi_full, dy_)[..., 0]
             geom = deth if p.geometric else 1.0
@@ -254,7 +257,7 @@ class ZModel:
                 "vorticity_update", mesh.rank,
                 flops=30.0 * wdot[..., 0].size,
                 bytes_moved=8.0 * 8 * wdot[..., 0].size,
-                items=wdot[..., 0].size,
+                items=wdot[..., 0].size, t_wall=trace.clock_since(t0),
             )
 
         self.evaluations += 1

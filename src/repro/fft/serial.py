@@ -35,6 +35,7 @@ def fft_along(
     backend: "ArrayBackend | str | None" = None,
 ) -> np.ndarray:
     """Complex forward FFT along one axis (norm='backward')."""
+    t0 = trace.clock() if trace is not None else None
     out = get_backend(backend).fft1d(data, axis)
     if trace is not None:
         n = data.shape[axis]
@@ -43,7 +44,7 @@ def fft_along(
             "fft1d", rank,
             flops=fft_flops(n, batch),
             bytes_moved=2.0 * out.nbytes,
-            items=data.size,
+            items=data.size, t_wall=trace.clock_since(t0),
         )
     return out
 
@@ -56,6 +57,7 @@ def ifft_along(
     backend: "ArrayBackend | str | None" = None,
 ) -> np.ndarray:
     """Complex inverse FFT along one axis (norm='backward': scales 1/N)."""
+    t0 = trace.clock() if trace is not None else None
     out = get_backend(backend).ifft1d(data, axis)
     if trace is not None:
         n = data.shape[axis]
@@ -64,7 +66,7 @@ def ifft_along(
             "ifft1d", rank,
             flops=fft_flops(n, batch),
             bytes_moved=2.0 * out.nbytes,
-            items=data.size,
+            items=data.size, t_wall=trace.clock_since(t0),
         )
     return out
 

@@ -66,6 +66,7 @@ def run_spmd(
 
     if nranks == 1:
         comm = Comm(world, comm_id, 0, 1)
+        world.trace.bind_rank(0)
         return [fn(comm, *args, **kwargs)]
 
     results: list[Any] = [None] * nranks
@@ -74,6 +75,7 @@ def run_spmd(
 
     def runner(rank: int) -> None:
         comm = Comm(world, comm_id, rank, nranks)
+        world.trace.bind_rank(rank)
         try:
             results[rank] = fn(comm, *args, **kwargs)
         except RankAbortedError:
@@ -111,4 +113,5 @@ def single_rank_comm(
     without threads; all collectives complete immediately.
     """
     world = World(1, trace=trace, timeout=timeout)
+    world.trace.bind_rank(0)
     return Comm(world, world.alloc_comm_id(), 0, 1)

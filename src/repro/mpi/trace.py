@@ -2,29 +2,47 @@
 
 Every operation performed through :class:`repro.mpi.Comm` is recorded as a
 :class:`CommEvent` (and kernels may record :class:`ComputeEvent` objects)
-into a :class:`CommTrace`.  Traces serve two purposes:
+into a :class:`CommTrace`.  Traces serve three purposes:
 
 * tests assert on them (who talked to whom, how many bytes, in which
-  phase), and
+  phase),
 * :mod:`repro.machine.replay` converts them into modeled wall-clock time
   on a described machine, which is how the benchmark harness reproduces
-  the paper's Lassen scaling studies without Lassen.
+  the paper's Lassen scaling studies without Lassen, and
+* :mod:`repro.telemetry` exports them as measured wall-clock artifacts
+  (Perfetto traces, per-run ``telemetry.json``, drift reports).
 
 Phases
 ------
 Solver code labels logical phases (``"halo"``, ``"fft"``, ``"migrate"``,
 ...) with :meth:`CommTrace.phase`, a context manager.  The label is stored
 per-thread so SPMD ranks running in different threads do not interfere.
+
+Wall-clock spans
+----------------
+A timed trace (the default) additionally records a :class:`PhaseSpan`
+per ``phase()`` enter/exit — monotonic (``time.perf_counter``) start and
+end stamps, the recording rank (installed per rank thread by
+:func:`repro.mpi.run_spmd` via :meth:`CommTrace.bind_rank`), the nesting
+depth, and the *self time* (duration minus directly nested child
+spans).  Events carry an optional ``t_stamp`` (when they were recorded)
+and accounting layers may attach a measured ``t_wall`` duration to
+compute events; both stay ``None`` on an untimed trace.
+:class:`NullTrace` skips all of it, so the disabled path stays within
+the telemetry overhead budget (see ``benchmarks/bench_telemetry.py``).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
-__all__ = ["CommEvent", "ComputeEvent", "CommTrace", "NullTrace"]
+from repro.telemetry.metrics import MetricsRegistry, NullMetrics
+
+__all__ = ["CommEvent", "ComputeEvent", "PhaseSpan", "CommTrace", "NullTrace"]
 
 
 @dataclass(frozen=True)
@@ -70,6 +88,12 @@ class CommEvent:
     comm_size: int = 1
     comm_id: int = 0
     group: Optional[tuple[int, ...]] = None
+    #: Monotonic stamp (``time.perf_counter``) taken when the event was
+    #: recorded; ``None`` on an untimed trace.
+    t_stamp: Optional[float] = None
+    #: Measured wall-clock duration of the operation, when the caller
+    #: timed it; ``None`` otherwise.
+    t_wall: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -88,9 +112,49 @@ class ComputeEvent:
     items: int
     phase: str
     seq: int
+    #: Monotonic stamp taken when the event was recorded (untimed: None).
+    t_stamp: Optional[float] = None
+    #: Measured wall-clock seconds of the kernel invocation, recorded by
+    #: the *accounting* layer that timed the backend call — so every
+    #: compute backend is covered without backend-specific code.
+    t_wall: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """One wall-clock interval spent inside a ``phase()`` block.
+
+    ``self_time`` excludes the duration of directly nested child spans,
+    mirroring how events attribute work to the innermost phase only —
+    summing ``self_time`` over a rank's spans never double-counts.
+    """
+
+    phase: str
+    rank: int
+    t_start: float
+    t_end: float
+    depth: int
+    self_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class _OpenSpan:
+    """Mutable per-thread bookkeeping for a span still in flight."""
+
+    __slots__ = ("phase", "t_start", "depth", "child_time")
+
+    def __init__(self, phase: str, t_start: float, depth: int) -> None:
+        self.phase = phase
+        self.t_start = t_start
+        self.depth = depth
+        self.child_time = 0.0
 
 
 _DEFAULT_PHASE = "unphased"
+_DEFAULT_RANK = 0
 
 
 class CommTrace:
@@ -100,27 +164,95 @@ class CommTrace:
     carry their originating rank.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, timed: bool = True) -> None:
         self._lock = threading.Lock()
         self._events: list[CommEvent] = []
         self._compute: list[ComputeEvent] = []
+        self._spans: list[PhaseSpan] = []
         self._tls = threading.local()
         self._seq: dict[int, int] = {}
+        #: Whether this trace stamps wall-clock times (spans, t_stamp)
+        #: and asks accounting layers for ``t_wall`` durations.
+        self.timed = bool(timed)
+        #: Run-scoped metrics registry; solver-side code publishes via
+        #: ``comm.trace.metrics`` so per-run isolation is automatic.
+        self.metrics: MetricsRegistry = MetricsRegistry()
 
     # -- recording -----------------------------------------------------
 
     def current_phase(self) -> str:
         return getattr(self._tls, "phase", _DEFAULT_PHASE)
 
+    def bind_rank(self, rank: int) -> None:
+        """Associate this thread's spans with ``rank``.
+
+        :func:`repro.mpi.run_spmd` calls this at rank-thread start;
+        events are unaffected (they carry their rank explicitly).
+        """
+        self._tls.rank = int(rank)
+
+    def current_rank(self) -> int:
+        """The rank bound to the calling thread (default 0)."""
+        return getattr(self._tls, "rank", _DEFAULT_RANK)
+
     @contextmanager
     def phase(self, label: str) -> Iterator[None]:
-        """Label all events recorded by this thread with ``label``."""
+        """Label all events recorded by this thread with ``label``.
+
+        On a timed trace each enter/exit additionally records a
+        :class:`PhaseSpan`; the span is closed in a ``finally`` block so
+        an exception escaping the phase body still leaves a complete,
+        honest span behind.
+        """
         previous = self.current_phase()
         self._tls.phase = label
+        if not self.timed:
+            try:
+                yield
+            finally:
+                self._tls.phase = previous
+            return
+        stack: list[_OpenSpan] = getattr(self._tls, "stack", None) or []
+        self._tls.stack = stack
+        open_span = _OpenSpan(label, time.perf_counter(), len(stack))
+        stack.append(open_span)
         try:
             yield
         finally:
             self._tls.phase = previous
+            t_end = time.perf_counter()
+            stack.pop()
+            duration = t_end - open_span.t_start
+            if stack:
+                stack[-1].child_time += duration
+            span = PhaseSpan(
+                phase=label,
+                rank=self.current_rank(),
+                t_start=open_span.t_start,
+                t_end=t_end,
+                depth=open_span.depth,
+                self_time=max(duration - open_span.child_time, 0.0),
+            )
+            with self._lock:
+                self._spans.append(span)
+
+    # -- wall-clock helpers ------------------------------------------------
+
+    def clock(self) -> Optional[float]:
+        """``time.perf_counter()`` when timed, else ``None``.
+
+        Accounting layers bracket a backend invocation with ``t0 =
+        trace.clock()`` / ``t_wall=trace.clock_since(t0)``; on an
+        untimed (or Null) trace both sides collapse to no-ops, keeping
+        the disabled path inside the telemetry overhead budget.
+        """
+        return time.perf_counter() if self.timed else None
+
+    def clock_since(self, t0: Optional[float]) -> Optional[float]:
+        """Elapsed seconds since a :meth:`clock` stamp (None-safe)."""
+        if t0 is None or not self.timed:
+            return None
+        return time.perf_counter() - t0
 
     def _next_seq(self, rank: int) -> int:
         with self._lock:
@@ -140,6 +272,7 @@ class CommTrace:
         comm_size: int = 1,
         comm_id: int = 0,
         group: Optional[Sequence[int]] = None,
+        t_wall: Optional[float] = None,
     ) -> None:
         event = CommEvent(
             kind=kind,
@@ -153,6 +286,8 @@ class CommTrace:
             comm_size=comm_size,
             comm_id=comm_id,
             group=None if group is None else tuple(group),
+            t_stamp=time.perf_counter() if self.timed else None,
+            t_wall=t_wall,
         )
         with self._lock:
             self._events.append(event)
@@ -165,6 +300,7 @@ class CommTrace:
         flops: float,
         bytes_moved: float,
         items: int = 0,
+        t_wall: Optional[float] = None,
     ) -> None:
         event = ComputeEvent(
             kernel=kernel,
@@ -174,6 +310,8 @@ class CommTrace:
             items=int(items),
             phase=self.current_phase(),
             seq=self._next_seq(rank),
+            t_stamp=time.perf_counter() if self.timed else None,
+            t_wall=t_wall,
         )
         with self._lock:
             self._compute.append(event)
@@ -190,24 +328,74 @@ class CommTrace:
         with self._lock:
             return list(self._compute)
 
+    @property
+    def spans(self) -> list[PhaseSpan]:
+        with self._lock:
+            return list(self._spans)
+
     def filter(
         self,
         *,
         kind: Optional[str] = None,
         rank: Optional[int] = None,
         phase: Optional[str] = None,
-    ) -> list[CommEvent]:
-        """Events matching all provided criteria."""
-        result = []
-        for ev in self.events:
-            if kind is not None and ev.kind != kind:
-                continue
+        kernel: Optional[str] = None,
+    ) -> list:
+        """Events matching all provided criteria.
+
+        Covers both event families: ``kind`` selects communication
+        events only and ``kernel`` compute events only (the two are
+        mutually exclusive); with neither, matching events of *both*
+        kinds are returned (comm first, then compute), filtered by
+        ``rank``/``phase``.
+        """
+        if kind is not None and kernel is not None:
+            raise ValueError(
+                "filter() takes kind= (comm events) or kernel= (compute "
+                "events), not both"
+            )
+
+        def matches(ev) -> bool:
             if rank is not None and ev.rank != rank:
-                continue
+                return False
             if phase is not None and ev.phase != phase:
-                continue
-            result.append(ev)
+                return False
+            return True
+
+        result: list = []
+        if kernel is None:
+            for ev in self.events:
+                if kind is not None and ev.kind != kind:
+                    continue
+                if matches(ev):
+                    result.append(ev)
+        if kind is None:
+            for cev in self.compute_events:
+                if kernel is not None and cev.kernel != kernel:
+                    continue
+                if matches(cev):
+                    result.append(cev)
         return result
+
+    def phase_walls(self) -> dict[str, dict[int, float]]:
+        """Measured wall seconds per phase and rank.
+
+        ``{phase: {rank: seconds}}`` where seconds is the summed
+        *self time* of that rank's spans in the phase — nested child
+        phases are attributed to themselves only, exactly like events.
+        Empty on an untimed trace.
+        """
+        walls: dict[str, dict[int, float]] = {}
+        for span in self.spans:
+            per_rank = walls.setdefault(span.phase, {})
+            per_rank[span.rank] = per_rank.get(span.rank, 0.0) + span.self_time
+        return walls
+
+    def phase_wall_max(self, phase: str) -> float:
+        """Slowest rank's measured wall seconds in one phase (the
+        BSP-consistent counterpart of ``ReplayResult.phase_time``)."""
+        per_rank = self.phase_walls().get(phase, {})
+        return max(per_rank.values()) if per_rank else 0.0
 
     def compute_totals(
         self, *, phase: Optional[str] = None
@@ -283,6 +471,7 @@ class CommTrace:
         with self._lock:
             self._events.clear()
             self._compute.clear()
+            self._spans.clear()
             self._seq.clear()
 
     def __len__(self) -> int:
@@ -294,8 +483,21 @@ class NullTrace(CommTrace):
     """A trace that drops every event (used when tracing is disabled).
 
     Keeping the same interface lets communication code record events
-    unconditionally without ``if trace is not None`` checks in hot paths.
+    unconditionally without ``if trace is not None`` checks in hot
+    paths.  This is the ``NullTelemetry`` fast path: no spans, no
+    stamps, no metrics — ``benchmarks/bench_telemetry.py`` gates the
+    instrumented-over-null overhead at <= 5 %.
     """
+
+    def __init__(self) -> None:
+        super().__init__(timed=False)
+        self.metrics = NullMetrics()
+
+    @contextmanager
+    def phase(self, label: str) -> Iterator[None]:  # noqa: D102
+        # Skip even the phase-label bookkeeping: nothing reads it when
+        # every record_* call drops its event.
+        yield
 
     def record_comm(self, *args, **kwargs) -> None:  # noqa: D102
         return

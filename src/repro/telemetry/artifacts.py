@@ -1,0 +1,145 @@
+"""Per-run telemetry artifacts and the atomic-JSON write primitive.
+
+A *telemetry artifact* is the flat ``telemetry.json`` document written
+next to ``result.json`` for every completed campaign run (and by
+``rocketrig --profile`` for ad-hoc runs).  It flattens a run's timed
+:class:`~repro.mpi.trace.CommTrace` — per-phase wall clocks, kernel
+wall totals, comm/compute event counts — together with the run's
+metrics-registry snapshot into one JSON object that
+``campaign.report`` can address with dotted keys
+(``telemetry.phase.fft.wall``, ``telemetry.metrics.solver.steps``).
+
+:func:`atomic_write_json` is the single durable-write primitive the
+whole telemetry layer uses (mkstemp in the destination directory,
+fsync, ``os.replace``) — the same crash-safety discipline
+:class:`~repro.campaign.store.CampaignStore` established for
+``result.json``, now shared so store, exporters and status heartbeats
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "atomic_write_json",
+    "build_run_telemetry",
+]
+
+#: Schema tag stamped into every telemetry artifact so downstream
+#: tooling can detect format changes.
+TELEMETRY_SCHEMA = "repro.telemetry/1"
+
+
+def atomic_write_json(path: str, payload: Any, *, indent: int = 2) -> None:
+    """Write ``payload`` as JSON to ``path`` atomically.
+
+    The document is serialized to a ``mkstemp`` sibling in the
+    destination directory, fsync'd, then ``os.replace``'d into place —
+    readers (status pollers, report generators, other processes) never
+    observe a torn file, and a crash mid-write leaves the previous
+    version intact.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        # mkstemp creates 0600; restore the umask-default mode a plain
+        # open() would have produced, so shared results trees stay
+        # readable by their other consumers.
+        try:
+            umask = os.umask(0)
+            os.umask(umask)
+            os.fchmod(fd, 0o666 & ~umask)
+        except (AttributeError, OSError):  # pragma: no cover - non-POSIX
+            pass
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=indent, sort_keys=True, default=str)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def build_run_telemetry(
+    trace,
+    *,
+    elapsed: Optional[float] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Flatten a timed trace (+ its metrics registry) into the
+    ``telemetry.json`` document.
+
+    Layout::
+
+        {
+          "schema": "repro.telemetry/1",
+          "elapsed": 1.23,                      # run wall-clock, if known
+          "phase": {"fft": {"wall": .., "wall_by_rank": {"0": ..},
+                            "comm_events": n, "compute_events": n}, ...},
+          "kernel": {"br_pairs": {"wall": .., "count": n}, ...},
+          "events": {"comm": n, "compute": n, "spans": n},
+          "metrics": {"solver.steps": 40, ...},
+        }
+
+    ``phase.<name>.wall`` is the slowest rank's measured self-time
+    (:meth:`~repro.mpi.trace.CommTrace.phase_wall_max`), the
+    BSP-consistent counterpart of the machine model's phase time —
+    which is what makes ``telemetry.phase.X.wall`` directly comparable
+    with modeled drift reports.  An untimed/Null trace produces an
+    honest, mostly-empty document rather than failing.
+    """
+    walls = trace.phase_walls()
+    comm_events = trace.events
+    compute_events = trace.compute_events
+
+    phase_doc: Dict[str, Any] = {}
+    phase_names = list(walls)
+    for name in trace.phases():
+        if name not in phase_names:
+            phase_names.append(name)
+    for name in phase_names:
+        per_rank = walls.get(name, {})
+        phase_doc[name] = {
+            "wall": max(per_rank.values()) if per_rank else 0.0,
+            "wall_by_rank": {str(r): t for r, t in sorted(per_rank.items())},
+            "comm_events": sum(1 for ev in comm_events if ev.phase == name),
+            "compute_events": sum(
+                1 for ev in compute_events if ev.phase == name
+            ),
+        }
+
+    kernel_doc: Dict[str, Any] = {}
+    for cev in compute_events:
+        bucket = kernel_doc.setdefault(cev.kernel, {"wall": 0.0, "count": 0})
+        bucket["count"] += 1
+        if cev.t_wall is not None:
+            bucket["wall"] += cev.t_wall
+
+    doc: Dict[str, Any] = {
+        "schema": TELEMETRY_SCHEMA,
+        "phase": phase_doc,
+        "kernel": kernel_doc,
+        "events": {
+            "comm": len(comm_events),
+            "compute": len(compute_events),
+            "spans": len(trace.spans),
+        },
+        "metrics": trace.metrics.snapshot(),
+    }
+    if elapsed is not None:
+        doc["elapsed"] = float(elapsed)
+    if extra:
+        doc.update(extra)
+    return doc

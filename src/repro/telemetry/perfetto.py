@@ -1,0 +1,249 @@
+"""Chrome-trace-event (Perfetto) export of a timed CommTrace.
+
+Converts the wall-clock spans and stamped events of a
+:class:`~repro.mpi.trace.CommTrace` into the Chrome trace-event JSON
+format, which both ``chrome://tracing`` and https://ui.perfetto.dev load
+directly:
+
+* one **track per rank** — the exporter emits the whole run as one
+  process (``pid 0``) with a named thread per rank, so rank timelines
+  stack vertically exactly like an MPI timeline view;
+* **phase spans** become complete (``"ph": "X"``) slices with real
+  measured durations; nesting inside a rank renders as slice stacking;
+* **communication events** become thread-scoped instants
+  (``"ph": "i"``), and every matched send/recv pair additionally gets a
+  **flow arrow** (``"ph": "s"`` → ``"ph": "f"``) from the sending
+  rank's timeline to the receiving rank's, matched FIFO per
+  (source, destination, tag) — the same matching discipline the
+  simulator's mailboxes implement.
+
+Timestamps are exported in microseconds relative to the earliest stamp
+in the trace, so traces start at t=0 regardless of the
+``perf_counter`` epoch.  :func:`validate_chrome_trace` is the schema
+check the test suite and CI run against every exported file, and
+``python -m repro.telemetry.perfetto <file.json>`` runs it standalone.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: Trace-event timestamps are microseconds.
+_US = 1e6
+
+#: Event-kind → Perfetto color hint (keeps comm instants visually
+#: distinct from phase slices without mandating a colour scheme).
+_INSTANT_SCOPE_THREAD = "t"
+
+
+def _ranks_of(trace) -> list[int]:
+    ranks = {span.rank for span in trace.spans}
+    ranks.update(ev.rank for ev in trace.events)
+    ranks.update(cev.rank for cev in trace.compute_events)
+    return sorted(ranks) if ranks else [0]
+
+
+def _time_base(trace) -> float:
+    stamps = [span.t_start for span in trace.spans]
+    stamps.extend(ev.t_stamp for ev in trace.events if ev.t_stamp is not None)
+    stamps.extend(
+        cev.t_stamp for cev in trace.compute_events if cev.t_stamp is not None
+    )
+    return min(stamps) if stamps else 0.0
+
+
+def chrome_trace_events(
+    trace, *, process_name: str = "rocketrig"
+) -> dict[str, Any]:
+    """The Chrome trace-event payload (``{"traceEvents": [...]}``).
+
+    ``trace`` must be a timed :class:`~repro.mpi.trace.CommTrace`; an
+    untimed trace (no spans, no stamps) still produces a valid payload
+    containing only the track-naming metadata, so callers need no
+    special-casing.
+    """
+    base = _time_base(trace)
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for rank in _ranks_of(trace):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": rank,
+                "ts": 0,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+
+    # Phase spans: complete slices with measured durations.
+    for span in trace.spans:
+        events.append(
+            {
+                "name": span.phase,
+                "cat": "phase",
+                "ph": "X",
+                "pid": 0,
+                "tid": span.rank,
+                "ts": (span.t_start - base) * _US,
+                "dur": span.duration * _US,
+                "args": {"depth": span.depth, "self_us": span.self_time * _US},
+            }
+        )
+
+    # Communication instants + send/recv flow arrows.  Pairs match FIFO
+    # per (source, destination, tag) — the simulator's own discipline.
+    pending: dict[tuple[int, int, int], list[int]] = {}
+    flow_id = 0
+    for ev in trace.events:
+        if ev.t_stamp is None:
+            continue
+        ts = (ev.t_stamp - base) * _US
+        args: dict[str, Any] = {"nbytes": ev.nbytes, "phase": ev.phase}
+        if ev.peer is not None:
+            args["peer"] = ev.peer
+        events.append(
+            {
+                "name": ev.kind,
+                "cat": "comm",
+                "ph": "i",
+                "s": _INSTANT_SCOPE_THREAD,
+                "pid": 0,
+                "tid": ev.rank,
+                "ts": ts,
+                "args": args,
+            }
+        )
+        if ev.kind == "send" and ev.peer is not None:
+            flow_id += 1
+            pending.setdefault((ev.rank, ev.peer, ev.tag), []).append(flow_id)
+            events.append(
+                {
+                    "name": "msg",
+                    "cat": "comm",
+                    "ph": "s",
+                    "id": flow_id,
+                    "pid": 0,
+                    "tid": ev.rank,
+                    "ts": ts,
+                }
+            )
+        elif ev.kind == "recv" and ev.peer is not None:
+            queue = pending.get((ev.peer, ev.rank, ev.tag))
+            if queue:
+                events.append(
+                    {
+                        "name": "msg",
+                        "cat": "comm",
+                        "ph": "f",
+                        "bp": "e",
+                        "id": queue.pop(0),
+                        "pid": 0,
+                        "tid": ev.rank,
+                        "ts": ts,
+                    }
+                )
+
+    # Spans are recorded when they *close*, so append order is not
+    # timestamp order.  Emit sorted by begin time (longer slices first
+    # on ties, so parents precede the children nested inside them) —
+    # viewers tolerate unsorted input but the schema gate does not.
+    events.sort(key=lambda ev: (ev["ts"], -ev.get("dur", 0.0)))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str, trace, *, process_name: str = "rocketrig"
+) -> dict[str, Any]:
+    """Export ``trace`` to ``path`` atomically; returns the payload."""
+    from repro.telemetry.artifacts import atomic_write_json
+
+    payload = chrome_trace_events(trace, process_name=process_name)
+    atomic_write_json(path, payload)
+    return payload
+
+
+def validate_chrome_trace(payload: dict[str, Any]) -> list[str]:
+    """Schema check on an exported payload; returns problem strings.
+
+    Verifies what a trace viewer needs: a ``traceEvents`` list whose
+    entries all carry ``ph``/``ts``/``pid``/``tid``, duration events
+    carrying a non-negative ``dur``, and per-track begin timestamps
+    that never run backwards (events are appended in recording order,
+    so a non-monotone track means a broken clock, not viewer pedantry).
+    """
+    problems: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    last_ts: dict[tuple[Any, Any], float] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for key in ("ph", "ts", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"event {i}: missing required key {key!r}")
+        ph = ev.get("ph")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i}: bad ts {ts!r}")
+            continue
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: X event with bad dur {dur!r}")
+        if ph in ("X", "i", "s", "f"):
+            track = (ev.get("pid"), ev.get("tid"))
+            if ts + 1e-9 < last_ts.get(track, 0.0):
+                problems.append(
+                    f"event {i}: ts runs backwards on track {track} "
+                    f"({ts} < {last_ts[track]})"
+                )
+            last_ts[track] = max(last_ts.get(track, 0.0), float(ts))
+    return problems
+
+
+def _main(argv: Optional[Iterable[str]] = None) -> int:
+    """``python -m repro.telemetry.perfetto <trace.json> [...]``:
+    validate exported files (CI's schema gate)."""
+    import sys
+
+    paths = list(argv if argv is not None else sys.argv[1:])
+    if not paths:
+        print("usage: python -m repro.telemetry.perfetto TRACE.json [...]")
+        return 2
+    status = 0
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        problems = validate_chrome_trace(payload)
+        n = len(payload.get("traceEvents", []))
+        if problems:
+            status = 1
+            print(f"{path}: INVALID ({len(problems)} problems, {n} events)")
+            for problem in problems[:20]:
+                print(f"  - {problem}")
+        else:
+            print(f"{path}: ok ({n} events)")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(_main())

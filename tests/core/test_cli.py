@@ -149,12 +149,13 @@ class TestCampaignSubcommand:
         assert "4 ran, 0 store hits, 0 failed" in out
         assert "config.fft_config" in out
 
-        # Second invocation: every run is a store hit.
+        # Second invocation: every run is a store hit.  Per-run progress
+        # lines go through the repro.campaign logger (stderr), not stdout.
         assert main(["campaign", deck, "--workers", "2",
                      "--results-dir", results]) == 0
-        out = capsys.readouterr().out
-        assert out.count("store hit — skipped") == 4
-        assert "0 ran, 4 store hits, 0 failed" in out
+        captured = capsys.readouterr()
+        assert captured.err.count("store hit — skipped") == 4
+        assert "0 ran, 4 store hits, 0 failed" in captured.out
 
     def test_bad_deck_exits_cleanly(self, tmp_path, capsys):
         with pytest.raises(SystemExit, match="bad deck"):

@@ -83,6 +83,17 @@ class TestTraceRecording:
         assert len(trace.compute_events) == 1
         assert trace.compute_events[0].kernel == "kernel"
 
+    def test_filter_covers_compute_events(self):
+        trace = CommTrace()
+        with trace.phase("fft"):
+            trace.record_compute("fft1d", 0, flops=1.0, bytes_moved=8.0)
+            trace.record_compute("fft1d", 1, flops=1.0, bytes_moved=8.0)
+            trace.record_comm("allreduce", 0, None, 8)
+        assert len(trace.filter(kernel="fft1d")) == 2
+        assert len(trace.filter(kernel="fft1d", rank=1)) == 1
+        # rank/phase-only criteria match both event families.
+        assert len(trace.filter(phase="fft")) == 3
+
     def test_null_trace_drops_everything(self):
         trace = NullTrace()
         trace.record_comm("send", 0, 1, 100)

@@ -1,0 +1,136 @@
+"""Chrome-trace export: schema, per-rank tracks, flow arrows, validator."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.mpi.trace import CommTrace, NullTrace
+from repro.telemetry import (
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.perfetto import _main
+from tests.conftest import spmd
+
+
+@pytest.fixture
+def traced_run():
+    """A 4-rank run with phases and point-to-point traffic."""
+    trace = CommTrace()
+
+    def program(comm):
+        with trace.phase("halo"):
+            dest = (comm.rank + 1) % comm.size
+            src = (comm.rank - 1) % comm.size
+            comm.Sendrecv(np.zeros(4), dest, 7, None, src, 7)
+        with trace.phase("reduce"):
+            comm.allreduce(comm.rank)
+
+    spmd(4, program, trace=trace)
+    return trace
+
+
+class TestChromeTraceEvents:
+    def test_json_round_trip_and_schema(self, traced_run):
+        payload = chrome_trace_events(traced_run)
+        payload = json.loads(json.dumps(payload))
+        assert validate_chrome_trace(payload) == []
+        for ev in payload["traceEvents"]:
+            assert {"ph", "ts", "pid", "tid"} <= set(ev)
+
+    def test_one_track_per_rank(self, traced_run):
+        payload = chrome_trace_events(traced_run, process_name="t")
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in meta if e["name"] == "thread_name"
+        }
+        assert thread_names == {r: f"rank {r}" for r in range(4)}
+        procs = [e for e in meta if e["name"] == "process_name"]
+        assert [p["args"]["name"] for p in procs] == ["t"]
+
+    def test_phase_spans_match_trace(self, traced_run):
+        payload = chrome_trace_events(traced_run)
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == len(traced_run.spans)
+        assert {e["name"] for e in slices} == {"halo", "reduce"}
+        # Every rank has a slice for every phase.
+        for rank in range(4):
+            mine = {e["name"] for e in slices if e["tid"] == rank}
+            assert mine == {"halo", "reduce"}
+        for e in slices:
+            assert e["dur"] >= 0.0 and e["ts"] >= 0.0
+
+    def test_flow_arrows_pair_up(self, traced_run):
+        payload = chrome_trace_events(traced_run)
+        starts = [e for e in payload["traceEvents"] if e["ph"] == "s"]
+        ends = [e for e in payload["traceEvents"] if e["ph"] == "f"]
+        # The ring Sendrecv matches every send to a recv.
+        assert len(starts) == len(ends) == 4
+        assert sorted(e["id"] for e in starts) == sorted(e["id"] for e in ends)
+
+    def test_timestamps_monotone_per_track(self, traced_run):
+        payload = chrome_trace_events(traced_run)
+        last = {}
+        for ev in payload["traceEvents"]:
+            if ev["ph"] == "M":
+                continue
+            track = (ev["pid"], ev["tid"])
+            assert ev["ts"] >= last.get(track, 0.0) - 1e-9
+            last[track] = ev["ts"]
+
+    def test_untimed_trace_still_valid(self):
+        trace = NullTrace()
+        payload = chrome_trace_events(trace)
+        assert validate_chrome_trace(payload) == []
+        assert all(e["ph"] == "M" for e in payload["traceEvents"])
+
+
+class TestValidator:
+    def test_catches_missing_keys(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "ts": 0.0, "pid": 0}]}
+        )
+        assert any("tid" in p for p in problems)
+
+    def test_catches_backwards_ts(self):
+        events = [
+            {"ph": "i", "ts": 5.0, "pid": 0, "tid": 0, "s": "t"},
+            {"ph": "i", "ts": 1.0, "pid": 0, "tid": 0, "s": "t"},
+        ]
+        problems = validate_chrome_trace({"traceEvents": events})
+        assert any("backwards" in p for p in problems)
+
+    def test_catches_bad_payload(self):
+        assert validate_chrome_trace({}) == [
+            "traceEvents missing or not a list"
+        ]
+        assert validate_chrome_trace({"traceEvents": [3]}) != []
+
+    def test_negative_dur_rejected(self):
+        events = [{"ph": "X", "ts": 0.0, "pid": 0, "tid": 0, "dur": -1.0}]
+        assert validate_chrome_trace({"traceEvents": events}) != []
+
+
+class TestWriteAndCli:
+    def test_write_then_validate_cli(self, traced_run, tmp_path, capsys):
+        path = str(tmp_path / "run.trace.json")
+        payload = write_chrome_trace(path, traced_run, process_name="x")
+        with open(path, encoding="utf-8") as fh:
+            on_disk = json.load(fh)
+        assert on_disk == json.loads(json.dumps(payload))
+        assert _main([path]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_cli_flags_invalid_file(self, tmp_path, capsys):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"traceEvents": [{"ph": "X"}]}, fh)
+        assert _main([path]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_cli_usage(self, capsys):
+        assert _main([]) == 2
+        assert "usage" in capsys.readouterr().out
