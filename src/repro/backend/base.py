@@ -274,5 +274,165 @@ class ArrayBackend(abc.ABC):
         regression tests).
         """
 
+    # -- batched fleet kernels ---------------------------------------------
+    #
+    # The ``*_batched`` entry points advance a whole ScenarioFleet
+    # (:mod:`repro.batch`) in one call: every argument grows a leading
+    # batch axis of length B (independent same-shape scenarios), and
+    # per-scenario scalars (eps², prefactor, RK3 step coefficients)
+    # arrive as ``(B,)`` float64 vectors.  The concrete defaults below
+    # loop per scenario over the scalar kernels, so every registered
+    # engine supports fleets day one with bitwise-identical numerics;
+    # engines override them with fused implementations where a single
+    # stacked invocation wins (the blocked backend's perf target).
+
+    def br_allpairs_batched(
+        self,
+        targets: np.ndarray,
+        sources: np.ndarray,
+        omega: np.ndarray,
+        eps2: np.ndarray,
+        prefactor: np.ndarray,
+        out: np.ndarray,
+        *,
+        symmetric: bool = False,
+        batch_pairs: int = 2_000_000,
+    ) -> None:
+        """Batched dense BR accumulation: B independent all-pairs sums.
+
+        ``targets``/``sources``/``omega``/``out`` are stacked ``(B, n, 3)``
+        / ``(B, m, 3)`` float64 arrays; ``eps2`` and ``prefactor`` are
+        ``(B,)`` per-scenario desingularization/quadrature scalars.
+        Scenario ``b`` accumulates exactly :meth:`br_allpairs` of its own
+        slices — scenarios never interact.  ``symmetric`` asserts the
+        target and source stacks are the same point sets per scenario;
+        ``batch_pairs`` bounds panel temporaries as in the scalar kernel.
+        The default loops the scalar kernel per scenario.
+        """
+        for b in range(targets.shape[0]):
+            self.br_allpairs(
+                targets[b], sources[b], omega[b],
+                float(eps2[b]), float(prefactor[b]), out[b],
+                symmetric=symmetric, batch_pairs=batch_pairs,
+            )
+
+    def riesz_w3hat_batched(
+        self,
+        g1_hat: np.ndarray,
+        g2_hat: np.ndarray,
+        kx: np.ndarray,
+        ky: np.ndarray,
+    ) -> np.ndarray:
+        """Batched Riesz multiplier: :meth:`riesz_w3hat` per scenario.
+
+        ``g1_hat``/``g2_hat`` are stacked ``(B, n1, n2)`` complex128
+        spectra sharing one wavenumber grid (``kx``/``ky`` shaped
+        ``(n1, n2)`` — a fleet shares its mesh); returns the stacked
+        ``(B, n1, n2)`` normal-velocity spectrum.  The default loops the
+        scalar kernel per scenario.
+        """
+        out = np.empty(g1_hat.shape, dtype=np.complex128)
+        for b in range(g1_hat.shape[0]):
+            out[b] = self.riesz_w3hat(g1_hat[b], g2_hat[b], kx, ky)
+        return out
+
+    def fft1d_batched(self, data: np.ndarray, axis: int) -> np.ndarray:
+        """Batched forward FFT along one *grid* axis of a scenario stack.
+
+        ``data`` is ``(B, n1, n2)``; ``axis`` indexes the per-scenario
+        grid axes (0 or 1), i.e. the transform runs along stacked axis
+        ``axis + 1``.  Semantics per scenario match :meth:`fft1d`.  The
+        default loops the scalar kernel per scenario.
+        """
+        out = np.empty(data.shape, dtype=np.complex128)
+        for b in range(data.shape[0]):
+            out[b] = self.fft1d(data[b], axis)
+        return out
+
+    def ifft1d_batched(self, data: np.ndarray, axis: int) -> np.ndarray:
+        """Batched inverse FFT along one *grid* axis of a scenario stack.
+
+        Mirror of :meth:`fft1d_batched` with :meth:`ifft1d` semantics
+        per scenario (norm='backward', scales by 1/N along the axis).
+        """
+        out = np.empty(data.shape, dtype=np.complex128)
+        for b in range(data.shape[0]):
+            out[b] = self.ifft1d(data[b], axis)
+        return out
+
+    @staticmethod
+    def _batched_owned_shape(full: np.ndarray) -> tuple[int, ...]:
+        """Owned-region shape of a stacked ghosted array (halo depth 2)."""
+        return (
+            (full.shape[0], full.shape[1] - 4, full.shape[2] - 4)
+            + full.shape[3:]
+        )
+
+    def stencil_dx_batched(
+        self, full: np.ndarray, spacing: float
+    ) -> np.ndarray:
+        """Batched 4th-order ∂/∂α₁ of stacked ghosted scenario arrays.
+
+        ``full`` is ``(B, n1 + 4, n2 + 4, ...)``; returns the stacked
+        owned-node derivative ``(B, n1, n2, ...)``.  Per scenario the
+        result equals :meth:`stencil_dx` of the slice.  The default
+        loops the scalar kernel per scenario.
+        """
+        out = np.empty(self._batched_owned_shape(full))
+        for b in range(full.shape[0]):
+            out[b] = self.stencil_dx(full[b], spacing)
+        return out
+
+    def stencil_dy_batched(
+        self, full: np.ndarray, spacing: float
+    ) -> np.ndarray:
+        """Batched 4th-order ∂/∂α₂ of stacked ghosted scenario arrays.
+
+        Mirror of :meth:`stencil_dx_batched` along grid axis 1 (per
+        scenario it equals :meth:`stencil_dy` of the slice).
+        """
+        out = np.empty(self._batched_owned_shape(full))
+        for b in range(full.shape[0]):
+            out[b] = self.stencil_dy(full[b], spacing)
+        return out
+
+    def stencil_laplacian_batched(
+        self, full: np.ndarray, dx_: float, dy_: float
+    ) -> np.ndarray:
+        """Batched surface Laplacian of stacked ghosted scenario arrays.
+
+        Per scenario the result equals :meth:`stencil_laplacian` of the
+        slice; the default loops the scalar kernel per scenario.
+        """
+        out = np.empty(self._batched_owned_shape(full))
+        for b in range(full.shape[0]):
+            out[b] = self.stencil_laplacian(full[b], dx_, dy_)
+        return out
+
+    def rk3_axpy_batched(
+        self,
+        out: np.ndarray,
+        u: np.ndarray,
+        au: float,
+        u0: np.ndarray,
+        a0: float,
+        du: np.ndarray,
+        adu: np.ndarray,
+    ) -> None:
+        """Fleet RK3 stage update with per-scenario step coefficients.
+
+        All arrays are scenario stacks ``(B, ...)``; ``au``/``a0`` are
+        the shared Shu-Osher stage constants and ``adu`` is the ``(B,)``
+        per-scenario ``coeff · dt_b`` vector (fleets advance in lockstep
+        stages but each scenario keeps its own timestep).  Scenario
+        ``b`` computes exactly ``out_b ← au·u_b + a0·u0_b + adu_b·du_b``
+        with the same aliasing tolerance as :meth:`rk3_axpy` — ``out``
+        may alias any operand.  The default loops the scalar kernel.
+        """
+        for b in range(out.shape[0]):
+            self.rk3_axpy(
+                out[b], u[b], au, u0[b], a0, du[b], float(adu[b])
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -217,6 +217,8 @@ class CampaignExecutor:
         log: Optional[Callable[[str], None]] = None,
         telemetry: bool = True,
         status_interval: float = 0.0,
+        batch_fast_path: bool = True,
+        batch_min: int = 4,
     ) -> None:
         self.store = store
         self.max_workers = max(1, int(max_workers))
@@ -240,6 +242,14 @@ class CampaignExecutor:
         #: and one-line progress summaries during ``submit``; 0 disables
         #: the heartbeat thread (initial/final snapshots still land).
         self.status_interval = float(status_interval)
+        #: Batch fast path: groups of >= ``batch_min`` same-shape serial
+        #: functional runs are advanced by one in-process
+        #: :class:`repro.batch.ScenarioFleet` instead of N worker
+        #: dispatches (grouping key: :func:`repro.batch.fleet_key`).
+        #: Checkpointing campaigns and runs resuming from a checkpoint
+        #: keep the per-run path.
+        self.batch_fast_path = bool(batch_fast_path)
+        self.batch_min = max(2, int(batch_min))
         #: Campaign-level metrics (store hits, pool respawns, retries,
         #: run-elapsed histogram); worker-process snapshots merge in.
         self.metrics = MetricsRegistry()
@@ -283,6 +293,9 @@ class CampaignExecutor:
                 to_run.append(spec)
 
         ordered = longest_job_first(to_run, self.machine)
+        fleet_groups: list[list[RunSpec]] = []
+        if self.batch_fast_path and ordered:
+            fleet_groups, ordered = self._partition_fleet(ordered)
         board = _StatusBoard(self, unique)
         for run_hash, outcome in outcomes.items():
             board.mark(run_hash, "skipped")
@@ -291,6 +304,8 @@ class CampaignExecutor:
         heartbeat = board.start_heartbeat(self.status_interval)
         clean_exit = False
         try:
+            for group in fleet_groups:
+                self._submit_fleet(group, outcomes)
             if ordered:
                 self.log(
                     f"dispatching {len(ordered)} runs on {self.max_workers} "
@@ -344,6 +359,143 @@ class CampaignExecutor:
         if spec.mode != "model":
             return True
         return result.get("machine") in (None, self.machine.name)
+
+    # -- batch fast path -------------------------------------------------------
+
+    def _partition_fleet(
+        self, ordered: Sequence[RunSpec]
+    ) -> tuple[list[list[RunSpec]], list[RunSpec]]:
+        """Split the scheduled batch into fleet groups and the remainder.
+
+        Eligible specs — serial (``ranks == 1``) functional runs whose
+        configs share a :func:`repro.batch.fleet_key` and that are not
+        resuming from a checkpoint in a checkpointing campaign — are
+        grouped; groups reaching ``batch_min`` go to
+        :meth:`_submit_fleet`, everything else keeps its
+        longest-job-first slot in the per-run dispatch.
+        """
+        from repro.batch import fleet_key
+
+        groups: dict[tuple, list[RunSpec]] = {}
+        rest: list[RunSpec] = []
+        for spec in ordered:
+            key = None
+            if (
+                spec.mode == "functional"
+                and spec.ranks == 1
+                and self.checkpoint_freq == 0
+                and not os.path.exists(
+                    self.store.checkpoint_path(spec.run_hash())
+                )
+            ):
+                key = fleet_key(spec.config)
+            if key is None:
+                rest.append(spec)
+            else:
+                groups.setdefault(key, []).append(spec)
+        fleets: list[list[RunSpec]] = []
+        for group in groups.values():
+            if len(group) >= self.batch_min:
+                fleets.append(group)
+            else:
+                rest.extend(group)
+        if fleets and rest:
+            slot = {spec.run_hash(): i for i, spec in enumerate(ordered)}
+            rest.sort(key=lambda spec: slot[spec.run_hash()])
+        return fleets, rest
+
+    def _submit_fleet(
+        self, group: Sequence[RunSpec], outcomes: dict[str, RunOutcome]
+    ) -> None:
+        """Advance one fleet group in-process, recording per-run results.
+
+        Store records match the serial worker path exactly — one
+        terminal ``completed``/``failed`` record per run with the same
+        result payload shape, no ``running`` claim markers — so
+        ``campaign_summary`` counts fleet-absorbed runs identically to
+        pool runs.  Each completed run still gets its own
+        ``telemetry.json`` (the fleet trace is shared; ``fleet_size``
+        marks it as amortized).
+        """
+        from repro.batch import ScenarioFleet
+
+        n = len(group)
+        self.log(
+            f"batch fast path: advancing {n} same-shape serial runs in one "
+            f"in-process fleet ({group[0].describe()})"
+        )
+        trace = CommTrace() if self.telemetry else None
+        start = time.perf_counter()
+        pending: dict[int, RunSpec] = {}
+
+        def fail_remaining(error: str) -> None:
+            elapsed = time.perf_counter() - start
+            remaining = [s for s in group if s.run_hash() not in outcomes]
+            for spec in remaining:
+                run_hash = spec.run_hash()
+                self.store.record_failed(spec, error, elapsed=elapsed)
+                self.metrics.counter("campaign.runs_failed").inc()
+                outcomes[run_hash] = RunOutcome(
+                    spec=spec, run_hash=run_hash, status="failed",
+                    error=error, elapsed=elapsed,
+                )
+                self._mark(run_hash, "failed")
+                self.log(
+                    f"{run_hash} FAILED in batch fleet ({spec.describe()})"
+                )
+
+        try:
+            fleet = ScenarioFleet(group[0].config, trace=trace)
+            for spec in group:
+                sid = fleet.add(spec.config, spec.ic, spec.steps)
+                pending[sid] = spec
+                self._mark(spec.run_hash(), "running")
+        except Exception:
+            fail_remaining(traceback.format_exc(limit=20))
+            return
+
+        def on_finish(sid: int, result: dict[str, Any]) -> None:
+            spec = pending.pop(sid)
+            run_hash = spec.run_hash()
+            elapsed = time.perf_counter() - start
+            payload = {
+                "kind": "functional",
+                "diagnostics": result["diagnostics"],
+            }
+            self.store.record_completed(spec, payload, elapsed=elapsed)
+            self.metrics.counter("campaign.runs_completed").inc()
+            self.metrics.counter("campaign.batch_absorbed").inc()
+            self.metrics.histogram("campaign.run_elapsed").observe(elapsed)
+            outcomes[run_hash] = RunOutcome(
+                spec=spec, run_hash=run_hash, status="completed",
+                result=payload, elapsed=elapsed,
+            )
+            self._mark(run_hash, "completed")
+            if trace is not None:
+                self.store.write_telemetry(
+                    run_hash,
+                    build_run_telemetry(
+                        trace,
+                        elapsed=elapsed,
+                        extra={
+                            "run_hash": run_hash,
+                            "ranks": spec.ranks,
+                            "fleet_size": n,
+                        },
+                    ),
+                )
+
+        try:
+            fleet.run(on_finish=on_finish)
+        except Exception:
+            fail_remaining(traceback.format_exc(limit=20))
+            return
+        if trace is not None:
+            self.metrics.merge(trace.metrics.snapshot())
+        self.log(
+            f"batch fast path: {n} runs completed in "
+            f"{time.perf_counter() - start:.2f}s"
+        )
 
     # -- process backend -------------------------------------------------------
 

@@ -79,6 +79,7 @@ examples:
   rocketrig campaign examples/decks/smoke.json --workers 4
   rocketrig campaign examples/decks/smoke.json --worker-type process \\
             --timeout 3600 --collective-timeout 600
+  rocketrig batch examples/decks/batch_sweep.json
 
 initial conditions (--ic): {", ".join(IC_CHOICES)} (default multi_mode)
 BR solvers (--br-solver):  {", ".join(available_br_solvers())} (default exact)
@@ -231,6 +232,25 @@ def build_parser() -> argparse.ArgumentParser:
                            "progress summary is logged and status.json is "
                            "rewritten atomically in the campaign root every "
                            "N seconds (0 disables the heartbeat; default 5)")
+
+    batch = sub.add_parser(
+        "batch",
+        help="advance a deck of same-shape serial runs as one in-process "
+             "fleet (store-free; one kernel invocation per RK3 stage for "
+             "the whole batch)",
+        description="Expand a JSON sweep deck of same-shape serial "
+                    "functional runs and advance all of them in lockstep "
+                    "through repro.batch.ScenarioFleet — one backend "
+                    "kernel invocation per RK3 stage for the entire "
+                    "fleet.  No store records are written; use the "
+                    "campaign subcommand (whose executor batches "
+                    "eligible decks automatically) for persistent, "
+                    "deduplicated sweeps.",
+    )
+    batch.add_argument("deck", help="path to the JSON campaign deck")
+    batch.add_argument("--show", type=int, default=8, metavar="N",
+                       help="print per-scenario diagnostics for the first "
+                            "N scenarios (default 8; 0 silences them)")
     return parser
 
 
@@ -401,6 +421,84 @@ def run_campaign_from_args(args: argparse.Namespace) -> dict:
     return summary
 
 
+def run_batch_from_args(args: argparse.Namespace) -> dict:
+    """Execute ``rocketrig batch <deck.json>``: fleet-step a whole deck.
+
+    Every run spec in the deck must be fleet-eligible (serial,
+    functional, and batchable per :func:`repro.batch.fleet_key`);
+    specs are grouped by key — one :class:`ScenarioFleet` per group —
+    and advanced in lockstep.  Prints fleet throughput and per-scenario
+    diagnostics; nothing is persisted (use ``rocketrig campaign`` for
+    the deduplicating store).
+    """
+    import time as _time
+
+    from repro.batch import ScenarioFleet, fleet_key
+    from repro.campaign import CampaignDeck
+    from repro.mpi.trace import CommTrace
+
+    try:
+        deck = CampaignDeck.from_file(args.deck)
+        specs = deck.expand()
+    except (OSError, TypeError, ValueError, ReproError) as exc:
+        raise SystemExit(f"rocketrig batch: bad deck {args.deck!r}: {exc}")
+    if not specs:
+        raise SystemExit(f"rocketrig batch: deck {args.deck!r} expands to "
+                         "no runs")
+    groups: dict[tuple, list] = {}
+    for spec in specs:
+        if spec.mode != "functional" or spec.ranks != 1:
+            raise SystemExit(
+                f"rocketrig batch: run {spec.run_hash()} is not a serial "
+                f"functional run ({spec.describe()}); only mode="
+                "'functional', ranks=1 decks can be fleet-stepped"
+            )
+        key = fleet_key(spec.config)
+        if key is None:
+            raise SystemExit(
+                f"rocketrig batch: run {spec.run_hash()} cannot be "
+                f"fleet-stepped ({spec.describe()}): fleets need the "
+                "exact BR solver and solver-legal order/boundary "
+                "combinations"
+            )
+        groups.setdefault(key, []).append(spec)
+    total = len(specs)
+    scenario_steps = sum(spec.steps for spec in specs)
+    print(f"batch {deck.name!r}: {total} scenarios in {len(groups)} "
+          f"fleet(s), {scenario_steps} scenario-steps")
+    t0 = _time.perf_counter()
+    diagnostics: list[tuple[str, dict]] = []
+    fleet_steps = 0
+    for group in groups.values():
+        trace = CommTrace()
+        fleet = ScenarioFleet(group[0].config, trace=trace)
+        ids = fleet.add_many(
+            [(spec.config, spec.ic, spec.steps) for spec in group]
+        )
+        results = fleet.run()
+        fleet_steps += fleet.fleet_steps
+        for sid, spec in zip(ids, group):
+            diagnostics.append((spec.run_hash(), results[sid]["diagnostics"]))
+    wall = _time.perf_counter() - t0
+    rate = scenario_steps / wall if wall > 0 else float("inf")
+    print(f"batch {deck.name!r}: {total} scenarios finished in {wall:.2f}s "
+          f"({fleet_steps} lockstep fleet steps, {rate:.1f} "
+          "scenario-steps/s)")
+    show = max(0, int(getattr(args, "show", 8)))
+    for run_hash, diag in diagnostics[:show]:
+        print(f"  {run_hash}  t={diag['time']:.4g}  "
+              f"amplitude={diag['amplitude']:.6g}  "
+              f"vorticity_norm={diag['vorticity_norm']:.6g}")
+    if show and len(diagnostics) > show:
+        print(f"  ... {len(diagnostics) - show} more")
+    return {
+        "scenarios": total,
+        "fleets": len(groups),
+        "wall": wall,
+        "diagnostics": dict(diagnostics),
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_solvers or args.list_backends:
@@ -413,6 +511,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if getattr(args, "command", None) == "campaign":
         summary = run_campaign_from_args(args)
         return 0 if summary["batch_failed"] == 0 else 1
+    if getattr(args, "command", None) == "batch":
+        run_batch_from_args(args)
+        return 0
     run_from_args(args)
     return 0
 

@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.problem_manager import ProblemManager
 from repro.util.errors import ConfigurationError
 
-__all__ = ["InitialCondition", "apply_initial_condition"]
+__all__ = ["InitialCondition", "apply_initial_condition", "initial_state"]
 
 
 @dataclass(frozen=True)
@@ -133,16 +133,26 @@ _KINDS: dict[str, Callable] = {
 }
 
 
-def apply_initial_condition(pm: ProblemManager, ic: InitialCondition) -> None:
-    """Initialize z/w on owned nodes and synchronize ghosts."""
+def initial_state(
+    ic: InitialCondition,
+    X: np.ndarray,
+    Y: np.ndarray,
+    low: np.ndarray,
+    extent: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate the rocket-rig initial state at the given coordinates.
+
+    Returns the interface position ``z = (X, Y, η)`` and the zero
+    initial vorticity ``w``, both shaped off the coordinate grids.
+    This is the single evaluation path shared by the per-rank solver
+    setup (:func:`apply_initial_condition`) and the batched
+    :class:`repro.batch.ScenarioFleet`, so a fleet-stepped scenario
+    starts from bitwise the same state as its solo counterpart.
+    """
     if ic.kind not in _KINDS:
         raise ConfigurationError(
             f"unknown initial condition {ic.kind!r}; options: {sorted(_KINDS)}"
         )
-    mesh = pm.mesh
-    X, Y = mesh.owned_coordinates()
-    low = mesh.global_mesh.low
-    extent = mesh.global_mesh.extent
     eta = _KINDS[ic.kind](ic, X, Y, low, extent)
     if ic.tilt:
         eta = eta + ic.tilt * (X - low[0]) / extent[0]
@@ -152,5 +162,15 @@ def apply_initial_condition(pm: ProblemManager, ic: InitialCondition) -> None:
     z[..., 1] = Y
     z[..., 2] = eta
     w = np.zeros(X.shape + (2,))
+    return z, w
+
+
+def apply_initial_condition(pm: ProblemManager, ic: InitialCondition) -> None:
+    """Initialize z/w on owned nodes and synchronize ghosts."""
+    mesh = pm.mesh
+    X, Y = mesh.owned_coordinates()
+    z, w = initial_state(
+        ic, X, Y, mesh.global_mesh.low, mesh.global_mesh.extent
+    )
     pm.set_state(z, w)
     pm.gather_state()

@@ -108,9 +108,17 @@ class SolverConfig:
     backend: str = "auto"
 
     def __post_init__(self) -> None:
-        if any(n <= 0 for n in self.num_nodes):
+        # The depth-2 halo stencils (and the FFT brick remap) need at
+        # least 4 nodes per axis; rejecting here beats the opaque shape
+        # errors a 2×2 grid used to trigger deep in FFT/stencil setup.
+        if any(n < 4 for n in self.num_nodes):
             raise ConfigurationError(
-                f"num_nodes must be positive, got {self.num_nodes}"
+                f"num_nodes entries must be >= 4, got {self.num_nodes}"
+            )
+        if self.br_solver not in _BR_SOLVER_BUILDERS:
+            raise ConfigurationError(
+                f"unknown br_solver {self.br_solver!r}; "
+                f"available: {available_br_solvers()}"
             )
         if self.cutoff <= 0:
             raise ConfigurationError(f"cutoff must be positive, got {self.cutoff}")

@@ -65,10 +65,13 @@ class TestFunctionalCampaign:
     def test_failure_isolation(self, store):
         """One raising run is recorded failed; siblings complete."""
         good = functional_deck(grid={"ranks": [1, 2]}).expand()
-        # 2x2 mesh on 4 ranks: owned block thinner than the halo → the
-        # Solver constructor raises deep inside the run.
+        # Low order with free boundaries: the Solver constructor raises
+        # deep inside the run (the FFT Riesz solve needs periodicity).
         bad = RunSpec(
-            config=SolverConfig(num_nodes=(2, 2), order="low", dt=0.002),
+            config=SolverConfig(
+                num_nodes=(8, 8), order="low", periodic=(False, False),
+                dt=0.002,
+            ),
             ic=InitialCondition(kind="flat"),
             ranks=4,
             steps=2,
@@ -84,7 +87,10 @@ class TestFunctionalCampaign:
 
     def test_failed_run_retries_on_resubmit(self, store):
         bad = RunSpec(
-            config=SolverConfig(num_nodes=(2, 2), order="low", dt=0.002),
+            config=SolverConfig(
+                num_nodes=(8, 8), order="low", periodic=(False, False),
+                dt=0.002,
+            ),
             ic=InitialCondition(kind="flat"),
             ranks=4,
             steps=2,

@@ -94,7 +94,8 @@ class TestProcessCampaign:
     def test_runs_complete_and_dedup(self, tmp_path):
         store = CampaignStore("procpool", root=str(tmp_path))
         executor = CampaignExecutor(
-            store, max_workers=2, worker_type="process"
+            store, max_workers=2, worker_type="process",
+            batch_fast_path=False,
         )
         outcomes = executor.submit(specs())
         assert [o.status for o in outcomes] == ["completed"] * 4
@@ -119,7 +120,10 @@ class TestProcessCampaign:
         """An ordinary raise inside a worker process is a recorded
         failure (not a pool break): siblings are untouched."""
         bad = RunSpec(
-            config=SolverConfig(num_nodes=(2, 2), order="low", dt=0.002),
+            config=SolverConfig(
+                num_nodes=(8, 8), order="low", periodic=(False, False),
+                dt=0.002,
+            ),
             ic=InitialCondition(kind="flat"),
             ranks=4, steps=2,
         )
@@ -142,7 +146,8 @@ class TestThreadProcessParity:
         for worker_type in ("thread", "process"):
             store = CampaignStore(worker_type, root=str(tmp_path))
             outcomes = CampaignExecutor(
-                store, max_workers=2, worker_type=worker_type
+                store, max_workers=2, worker_type=worker_type,
+                batch_fast_path=False,
             ).submit(specs())
             results[worker_type] = (store, outcomes)
 
@@ -183,7 +188,8 @@ class TestCrashIsolation:
         store = CampaignStore("kill", root=str(tmp_path))
         logs = []
         executor = CampaignExecutor(
-            store, max_workers=2, worker_type="process", log=logs.append
+            store, max_workers=2, worker_type="process", log=logs.append,
+            batch_fast_path=False,
         )
         outcomes = executor.submit(batch)
 
@@ -218,7 +224,8 @@ class TestCrashIsolation:
         self._arm_fuse(monkeypatch, tmp_path, victim.run_hash(), trips=1)
         store = CampaignStore("transient", root=str(tmp_path))
         outcomes = CampaignExecutor(
-            store, max_workers=2, worker_type="process"
+            store, max_workers=2, worker_type="process",
+            batch_fast_path=False,
         ).submit(batch)
         assert all(o.status == "completed" for o in outcomes)
         assert all(

@@ -79,6 +79,46 @@ class TestParser:
         assert main(["--list-backends"]) == 0
         assert "numpy" in capsys.readouterr().out
 
+    def test_br_solver_registry_single_source_of_truth(self, capsys):
+        """--list-solvers, the --br-solver choices, config construction
+        and deck-axis expansion must all answer from one registry —
+        adding a solver in one place and not another is a drift bug."""
+        from repro.campaign import CampaignDeck
+        from repro.core import SolverConfig, available_br_solvers
+        from repro.util.errors import ConfigurationError
+
+        registry = tuple(available_br_solvers())
+        assert registry and len(set(registry)) == len(registry)
+
+        # CLI listing prints exactly the registry entries.
+        assert main(["--list-solvers"]) == 0
+        listed = capsys.readouterr().out
+        for solver in registry:
+            assert solver in listed
+
+        # Parser choices are the registry, verbatim.
+        action = next(
+            a for a in build_parser()._actions
+            if "--br-solver" in (a.option_strings or ())
+        )
+        assert tuple(action.choices) == registry
+
+        # Config construction accepts every registry entry...
+        for solver in registry:
+            assert SolverConfig(br_solver=solver).br_solver == solver
+
+        # ...and deck-axis expansion rejects a non-registry name with an
+        # error that names the registry (same validation path).
+        deck = CampaignDeck.from_dict({
+            "name": "drift", "mode": "functional", "steps": 1,
+            "base": {"order": "high", "num_nodes": [8, 8], "dt": 0.002},
+            "grid": {"br_solver": ["exact", "not_a_solver"]},
+        })
+        with pytest.raises(ConfigurationError) as err:
+            deck.expand()
+        for solver in registry:
+            assert solver in str(err.value)
+
 
 class TestRun:
     def test_low_order_run(self, capsys):
@@ -171,7 +211,8 @@ class TestCampaignSubcommand:
         results = str(tmp_path / "results")
         bad = dict(self.DECK)
         bad["grid"] = {"ranks": [1]}
-        bad["zip"] = {"num_nodes": [[16, 16], [2, 2]], "ranks": [1, 4]}
+        bad["zip"] = {"periodic": [[True, True], [False, False]],
+                      "ranks": [1, 4]}
         del bad["grid"]
         deck_bad = tmp_path / "bad.json"
         deck_bad.write_text(json.dumps(bad))

@@ -199,15 +199,25 @@ class TestSolverConfig:
 
         assert spmd(1, program)[0]
 
-    def test_unknown_br_solver_raises(self):
-        cfg = SolverConfig(order="high", br_solver="fmm")
+    def test_unknown_br_solver_raises_at_construction(self):
+        # The config constructor validates against the same registry the
+        # CLI lists — a bogus solver never reaches the Solver stack.
+        with pytest.raises(ConfigurationError, match="br_solver"):
+            SolverConfig(order="high", br_solver="fmm")
 
-        def program(comm):
-            with pytest.raises(ConfigurationError):
-                Solver(comm, cfg, InitialCondition())
-            return True
+    def test_num_nodes_below_stencil_floor_rejected(self):
+        # Depth-2 halos need at least 4 owned nodes per axis.
+        with pytest.raises(ConfigurationError, match="num_nodes"):
+            SolverConfig(num_nodes=(2, 64))
+        with pytest.raises(ConfigurationError, match="num_nodes"):
+            SolverConfig(num_nodes=(64, 3))
+        assert SolverConfig(num_nodes=(4, 4)).num_nodes == (4, 4)
 
-        assert spmd(1, program)[0]
+    def test_non_positive_cfl_rejected(self):
+        with pytest.raises(ConfigurationError, match="cfl"):
+            SolverConfig(cfl=0.0)
+        with pytest.raises(ConfigurationError, match="cfl"):
+            SolverConfig(cfl=-0.25)
 
 
 class TestDiagnostics:

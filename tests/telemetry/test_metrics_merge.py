@@ -1,0 +1,114 @@
+"""Snapshot/merge algebra of MetricsRegistry across many processes.
+
+The campaign parent folds worker-process metric snapshots into one
+registry (pool workers via the result payload, fleet traces via
+``executor.metrics.merge``).  With more than two processes the fold
+order is scheduling-dependent, so the merged totals must not depend on
+it: merging is permutation- and grouping-invariant, the empty snapshot
+is an identity, and ``snapshot()`` is a pure read.  Exercised as
+hypothesis property tests with integer-valued observations so float
+addition is exact and the equalities can be ``==``.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.metrics import MetricsRegistry
+
+NAMES = ("batch.steps", "campaign.runs_completed", "solver.steps")
+HIST = "campaign.run_elapsed"
+
+#: One simulated worker process: counter increments per shared name,
+#: plus a (possibly empty) list of histogram observations.  Integer
+#: values keep every float sum exact.
+process = st.fixed_dictionaries({
+    "counts": st.fixed_dictionaries({
+        name: st.integers(min_value=0, max_value=10**6) for name in NAMES
+    }),
+    "observations": st.lists(
+        st.integers(min_value=-1000, max_value=1000), max_size=8
+    ),
+})
+
+processes = st.lists(process, min_size=3, max_size=6)
+
+
+def worker_snapshot(spec):
+    """Build a registry the way an instrumented worker would, snapshot it."""
+    registry = MetricsRegistry()
+    for name, amount in spec["counts"].items():
+        if amount:
+            registry.counter(name).inc(amount)
+    for value in spec["observations"]:
+        registry.histogram(HIST).observe(float(value))
+    return registry.snapshot()
+
+
+def merged(snapshots):
+    registry = MetricsRegistry()
+    for snap in snapshots:
+        registry.merge(snap)
+    return registry.snapshot()
+
+
+@settings(max_examples=50, deadline=None)
+@given(specs=processes, permutation=st.randoms(use_true_random=False))
+def test_merge_is_permutation_invariant(specs, permutation):
+    snapshots = [worker_snapshot(spec) for spec in specs]
+    shuffled = list(snapshots)
+    permutation.shuffle(shuffled)
+    assert merged(shuffled) == merged(snapshots)
+
+
+@settings(max_examples=50, deadline=None)
+@given(specs=processes, split=st.integers(min_value=1, max_value=5))
+def test_merge_is_grouping_invariant(specs, split):
+    """Folding through an intermediate registry (a sub-tree of workers
+    merged first, then re-snapshotted into the parent) equals the flat
+    fold — merge is associative over snapshot round trips."""
+    snapshots = [worker_snapshot(spec) for spec in specs]
+    cut = min(split, len(snapshots) - 1)
+    intermediate = merged(snapshots[:cut])
+    assert merged([intermediate] + snapshots[cut:]) == merged(snapshots)
+
+
+@settings(max_examples=50, deadline=None)
+@given(specs=processes)
+def test_merged_totals_match_ground_truth(specs):
+    snap = merged(worker_snapshot(spec) for spec in specs)
+    for name in NAMES:
+        total = float(sum(spec["counts"][name] for spec in specs))
+        if total or name in snap:
+            assert snap[name] == total
+    observations = [v for spec in specs for v in spec["observations"]]
+    if observations:
+        hist = snap[HIST]
+        assert hist["count"] == len(observations)
+        assert hist["sum"] == float(sum(observations))
+        assert hist["min"] == float(min(observations))
+        assert hist["max"] == float(max(observations))
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=process)
+def test_snapshot_is_pure_and_empty_merge_is_identity(spec):
+    registry = MetricsRegistry()
+    registry.merge(worker_snapshot(spec))
+    first = registry.snapshot()
+    # snapshot() twice: same answer, no state consumed (idempotent read).
+    assert registry.snapshot() == first
+    # Merging nothing changes nothing.
+    registry.merge({})
+    registry.merge(None)
+    assert registry.snapshot() == first
+
+
+@settings(max_examples=25, deadline=None)
+@given(specs=processes)
+def test_merge_does_not_mutate_the_incoming_snapshot(specs):
+    snapshots = [worker_snapshot(spec) for spec in specs]
+    originals = copy.deepcopy(snapshots)
+    merged(snapshots)
+    assert snapshots == originals

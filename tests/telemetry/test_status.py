@@ -87,7 +87,10 @@ class TestStatusThreadAndSerial:
 
     def test_failed_run_counted(self, tmp_path):
         bad = RunSpec(
-            config=SolverConfig(num_nodes=(2, 2), order="low", dt=0.002),
+            config=SolverConfig(
+                num_nodes=(8, 8), order="low", periodic=(False, False),
+                dt=0.002,
+            ),
             ic=InitialCondition(kind="flat"),
             ranks=4, steps=2,
         )
