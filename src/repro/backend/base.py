@@ -53,6 +53,58 @@ class ArrayBackend(abc.ABC):
     #: Registry key; subclasses override.
     name: str = "abstract"
 
+    #: Where this engine's working arrays live: ``"cpu"`` for host
+    #: engines, ``"cuda:<n>"`` for device engines.  Communication layers
+    #: consult it (together with per-array
+    #: :func:`repro.mpi.descriptor.array_device` detection) to pick a
+    #: transport that matches the payload's residency.
+    device: str = "cpu"
+
+    # -- device surface ----------------------------------------------------
+
+    def capabilities(self) -> frozenset[str]:
+        """Capability tags surfaced by ``rocketrig --list-backends``.
+
+        The base set describes residency (``host``/``device``); engines
+        add their own tags (``jit``, ``tiled``, ``fft``...).
+        """
+        return frozenset({"host" if self.device == "cpu" else "device"})
+
+    def asarray(self, arr: np.ndarray) -> np.ndarray:
+        """Move/convert an array to this engine's device (no-op on host).
+
+        Host engines return a host ``ndarray`` view or copy; device
+        engines return a device-resident array exposing
+        ``__cuda_array_interface__``.  Solvers stage inputs through this
+        before a kernel burst and back with :meth:`to_host`.
+        """
+        return np.asarray(arr)
+
+    def to_host(self, arr: np.ndarray) -> np.ndarray:
+        """Bring an array of this engine back to host memory.
+
+        The inverse of :meth:`asarray`; host engines pass through,
+        device engines download (the PCIe staging the machine model
+        charges via ``MachineSpec.pcie_bw``).
+        """
+        getter = getattr(arr, "get", None)
+        if getter is not None and not isinstance(arr, np.ndarray):
+            return np.asarray(getter())
+        return np.asarray(arr)
+
+    def empty_like_pool(self, prototype: np.ndarray, pool) -> np.ndarray:
+        """Uninitialized scratch shaped/typed like ``prototype``, backed
+        by a :class:`repro.util.bufferpool.BufferPool` lease.
+
+        The returned array is a typed view of a pooled ``uint8`` buffer;
+        hand it back with ``pool.release(arr)`` (release walks the view
+        chain to the owning buffer).  Device engines override to lease
+        device memory instead.
+        """
+        proto = np.asarray(prototype)
+        lease = pool.acquire(proto.nbytes)
+        return lease[: proto.nbytes].view(proto.dtype).reshape(proto.shape)
+
     # -- Birkhoff-Rott pair accumulation ----------------------------------
 
     @abc.abstractmethod

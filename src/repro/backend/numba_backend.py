@@ -134,6 +134,9 @@ class NumbaBackend(NumpyBackend):  # pragma: no cover - requires numba
 
     name = "numba"
 
+    def capabilities(self) -> frozenset[str]:
+        return frozenset({"host", "jit", "parallel"})
+
     def br_allpairs(self, targets, sources, omega, eps2, prefactor, out,
                     *, symmetric=False, batch_pairs=2_000_000):
         _compile()

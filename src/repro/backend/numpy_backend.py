@@ -25,6 +25,9 @@ class NumpyBackend(ArrayBackend):
 
     name = "numpy"
 
+    def capabilities(self) -> frozenset[str]:
+        return frozenset({"host", "reference", "vectorized"})
+
     # -- Birkhoff-Rott ----------------------------------------------------
 
     @staticmethod

@@ -20,8 +20,10 @@ from repro.util.errors import ConfigurationError
 __all__ = [
     "available_backends",
     "default_backend_name",
+    "describe_backends",
     "get_backend",
     "register_backend",
+    "unavailable_backends",
 ]
 
 #: Name of the always-available reference backend.
@@ -73,6 +75,41 @@ def available_backends() -> list[str]:
         names.remove(REFERENCE)
         names.insert(0, REFERENCE)
     return names
+
+
+def unavailable_backends() -> dict[str, str]:
+    """Optional engines that could not register: ``{name: reason}``.
+
+    Non-empty entries are the *visible* skip path for import-gated
+    accelerator engines — CI asserts on this so a missing cupy shows up
+    as an exercised fallback, not a silently green matrix cell.
+    """
+    return dict(sorted(_UNAVAILABLE.items()))
+
+
+def describe_backends() -> list[dict[str, str]]:
+    """One row per known engine for ``rocketrig --list-backends``.
+
+    Registered engines report their device and capability tags;
+    unavailable ones report the reason they are absent.
+    """
+    rows = []
+    for name in available_backends():
+        backend = _REGISTRY[name]
+        rows.append({
+            "name": name,
+            "status": "available",
+            "device": backend.device,
+            "capabilities": ",".join(sorted(backend.capabilities())),
+        })
+    for name, reason in unavailable_backends().items():
+        rows.append({
+            "name": name,
+            "status": "unavailable",
+            "device": "-",
+            "capabilities": reason,
+        })
+    return rows
 
 
 def default_backend_name() -> str:

@@ -40,7 +40,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import mpi
-from repro.backend import available_backends, get_backend
+from repro.backend import available_backends, describe_backends, get_backend
 from repro.core import (
     InitialCondition,
     SiloWriter,
@@ -85,6 +85,8 @@ initial conditions (--ic): {", ".join(IC_CHOICES)} (default multi_mode)
 BR solvers (--br-solver):  {", ".join(available_br_solvers())} (default exact)
 compute backends (--backend): {", ".join(available_backends())} \
 (default: $REPRO_BACKEND or numpy)
+comm transports (--comm):  {", ".join(mpi.available_transports())} \
+(default: $REPRO_COMM or naive)
 
 Run --list-solvers / --list-backends to print the registries and exit.
 """
@@ -161,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "(registered engines: "
                           f"{', '.join(available_backends())}; "
                           "default: $REPRO_BACKEND or numpy)")
+    run.add_argument("--comm", default=None,
+                     choices=tuple(mpi.available_transports()),
+                     help="communicator transport for vector collectives "
+                          "(naive object passing, packed pooled buffers, "
+                          "device-direct, or per-payload auto dispatch; "
+                          "default: $REPRO_COMM or naive)")
     run.add_argument("--steps", "-t", type=int, default=10)
     run.add_argument("--ranks", "-r", type=int, default=1,
                      help="simulated MPI ranks (default 1)")
@@ -313,7 +321,10 @@ def run_from_args(args: argparse.Namespace) -> dict:
             tree_stats,
         )
 
-    results = mpi.run_spmd(args.ranks, program, trace=trace, timeout=3600.0)
+    results = mpi.run_spmd(
+        args.ranks, program, trace=trace, timeout=3600.0,
+        transport=args.comm,
+    )
     diag, counts, cache_stats, tree_stats = results[0]
 
     print(f"rocketrig: {args.order}-order, {args.ranks} ranks, "
@@ -505,8 +516,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.list_solvers:
             print("registered BR solvers:", ", ".join(available_br_solvers()))
         if args.list_backends:
-            print("registered compute backends:",
-                  ", ".join(available_backends()))
+            rows = describe_backends()
+            widths = {
+                key: max(len(key), *(len(row[key]) for row in rows))
+                for key in ("name", "status", "device", "capabilities")
+            }
+            header = "  ".join(
+                key.ljust(widths[key])
+                for key in ("name", "status", "device", "capabilities")
+            )
+            print("compute backends:")
+            print(f"  {header.rstrip()}")
+            for row in rows:
+                line = "  ".join(
+                    row[key].ljust(widths[key])
+                    for key in ("name", "status", "device", "capabilities")
+                )
+                print(f"  {line.rstrip()}")
+            print("comm transports:", ", ".join(mpi.available_transports()),
+                  "(select with --comm or $REPRO_COMM)")
         return 0
     if getattr(args, "command", None) == "campaign":
         summary = run_campaign_from_args(args)

@@ -29,6 +29,7 @@ from repro.machine.collectives import (
     alltoallv_time,
     mixed_alpha,
     mixed_bw,
+    transport_penalty,
 )
 from repro.machine.model import MachineSpec
 from repro.util.misc import dims_create, split_extent
@@ -283,6 +284,7 @@ def cutoff_evaluation(
     imbalance: float = 1.0,
     skin: float = 0.0,
     reuse_interval: float = DEFAULT_REUSE_INTERVAL,
+    transport: str | None = None,
 ) -> EvaluationModel:
     """One HIGH-order cutoff-solver evaluation (paper Figs. 5/8 workload).
 
@@ -306,6 +308,11 @@ def cutoff_evaluation(
         ``neighbor_cache`` phase (displacement check + 8-byte MAX
         allreduce + the restriction of the inflated lists back to the
         physical cutoff), mirroring the functional solver's accounting.
+    transport:
+        Communicator transport charged on the irregular exchanges
+        (``None`` keeps the legacy wire-only accounting; ``"naive"`` /
+        ``"packed"`` / ``"device"`` add the per-endpoint terms of
+        :func:`repro.machine.collectives.transport_penalty`).
     """
     model = EvaluationModel(nranks)
     local = _local_shape(global_shape, nranks)
@@ -340,6 +347,9 @@ def cutoff_evaluation(
             for p in range(1, partners + 1):
                 counts[p % nranks] = share
             data = alltoallv_time(nranks, counts, spec, builtin=True)
+            data += transport_penalty(
+                partners, int(moved * bytes_per), spec, transport
+            )
         return counts_exchange + data
 
     model.add("migrate", comm=_migrate(_MIGRATE_RECORD) + _migrate(_RETURN_RECORD))
@@ -362,7 +372,10 @@ def cutoff_evaluation(
         model.add(
             "spatial_halo",
             comm=counts_exchange
-            + alltoallv_time(nranks, counts, spec, builtin=True),
+            + alltoallv_time(nranks, counts, spec, builtin=True)
+            + transport_penalty(
+                partners, int(ghosts * _HALO_RECORD), spec, transport
+            ),
         )
 
     # Neighbor search + force pairs: a surface point sees the sheet as
@@ -459,6 +472,7 @@ def tree_evaluation(
     *,
     theta: float = 0.5,
     leaf_size: int = 32,
+    transport: str | None = None,
 ) -> EvaluationModel:
     """One HIGH-order Barnes-Hut tree-solver evaluation.
 
@@ -479,6 +493,10 @@ def tree_evaluation(
     Unlike :func:`cutoff_evaluation` there is no ``imbalance`` knob:
     targets never leave their surface owner, so the tree solver is
     immune to the spatial ownership imbalance of Figures 6/7.
+
+    ``transport`` charges the communicator endpoint terms on the
+    ``tree_gather`` allgatherv (``None`` = legacy wire-only numbers),
+    like :func:`cutoff_evaluation`.
     """
     model = EvaluationModel(nranks)
     local = _local_shape(global_shape, nranks)
@@ -489,10 +507,13 @@ def tree_evaluation(
     phi = halo_phase(nranks, local, 1, spec)
     model.add("halo", comm=state.comm + phi.comm)
 
-    # One ring allgather of the (n_local, 6) float64 block.
+    # One ring allgather of the (n_local, 6) float64 block; the
+    # endpoint handles one block per rank (P segments, P·n bytes).
+    block_bytes = int(n_local * 6 * _FLOAT)
     model.add(
         "tree_gather",
-        comm=allgather_time(nranks, int(n_local * 6 * _FLOAT), spec),
+        comm=allgather_time(nranks, block_bytes, spec)
+        + transport_penalty(nranks, nranks * block_bytes, spec, transport),
     )
 
     # Every rank builds the full global tree (replicated, like the

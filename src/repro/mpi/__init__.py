@@ -22,6 +22,15 @@ Quick example::
 
 from repro.mpi.comm import ANY_SOURCE, ANY_TAG, PROC_NULL, Comm, Request, Status
 from repro.mpi.cart import CartComm, create_cart
+from repro.mpi.communicators import (
+    CommunicatorBase,
+    DeviceDirectCommunicator,
+    NaiveCommunicator,
+    PackedBufferCommunicator,
+    available_transports,
+    resolve_transport,
+)
+from repro.mpi.descriptor import MessageDescriptor, describe, payload_nbytes
 from repro.mpi.ops import LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, Op
 from repro.mpi.simulator import run_spmd, single_rank_comm
 from repro.mpi.trace import CommEvent, CommTrace, ComputeEvent, NullTrace
@@ -45,6 +54,15 @@ __all__ = [
     "LOR",
     "MAXLOC",
     "MINLOC",
+    "CommunicatorBase",
+    "NaiveCommunicator",
+    "PackedBufferCommunicator",
+    "DeviceDirectCommunicator",
+    "available_transports",
+    "resolve_transport",
+    "MessageDescriptor",
+    "describe",
+    "payload_nbytes",
     "run_spmd",
     "single_rank_comm",
     "CommEvent",

@@ -30,8 +30,9 @@ class CartComm(Comm):
         size: int,
         dims: Sequence[int],
         periods: Sequence[bool],
+        transport: Optional[str] = None,
     ) -> None:
-        super().__init__(world, comm_id, rank, size)
+        super().__init__(world, comm_id, rank, size, transport=transport)
         if prod(dims) != size:
             raise ConfigurationError(
                 f"dims {tuple(dims)} do not multiply to comm size {size}"
@@ -158,4 +159,7 @@ def create_cart(
         )
     # All members agree on a fresh context id through a Dup-style collective.
     dup = comm.Dup()
-    return CartComm(comm._world, dup.id, comm.rank, comm.size, dims, periods)
+    return CartComm(
+        comm._world, dup.id, comm.rank, comm.size, dims, periods,
+        transport=comm.transport,
+    )

@@ -15,6 +15,17 @@ machine model.  That separation mirrors reality: the application requests
 
 Uppercase methods move numpy buffers; lowercase methods move Python
 objects.  Vector collectives take element counts (not bytes), like MPI.
+
+The vector collectives (``Allgatherv``, ``Alltoallv``,
+``exchange_arrays``) separate semantics from transport: this mixin
+validates, records trace events and shapes results, while the byte
+movement is delegated to the communicator hierarchy in
+:mod:`repro.mpi.communicators` (selected per payload from
+:class:`~repro.mpi.descriptor.MessageDescriptor` capabilities and the
+``REPRO_COMM`` override).  Because recording stays here and is computed
+from the logical descriptors, trace event kinds, counts and byte totals
+are invariant under transport choice; only the ``transport`` tag on the
+event distinguishes the chosen path.
 """
 
 from __future__ import annotations
@@ -24,25 +35,25 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.mpi.descriptor import describe, payload_nbytes, split_by_counts
 from repro.mpi.ops import SUM, Op
 from repro.util.errors import CommunicationError
 
 __all__ = ["CollectiveMixin"]
 
-
-def _nbytes_obj(obj: Any) -> int:
-    """Approximate payload size of an object contribution (for tracing)."""
-    try:
-        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
-        return 0
+# Exact descriptor-based payload sizing (arrays are O(1) via nbytes;
+# opaque objects fall back to measuring the pickle).
+_nbytes_obj = payload_nbytes
 
 
 class CollectiveMixin:
     """Collective methods shared by :class:`repro.mpi.Comm`.
 
     Requires the host class to provide ``_world``, ``_id``, ``_rank``,
-    ``_size`` and ``_coll_seq`` attributes.
+    ``_size`` and ``_coll_seq`` attributes plus a ``_transport_for``
+    method resolving payload descriptors to a
+    :class:`~repro.mpi.communicators.CommunicatorBase` (see
+    :meth:`repro.mpi.comm.Comm._transport_for`).
     """
 
     # These attributes are provided by Comm.
@@ -62,10 +73,12 @@ class CollectiveMixin:
         )
 
     def _record(self, kind: str, peer: Optional[int], nbytes: int,
-                counts: Optional[Sequence[int]] = None) -> None:
+                counts: Optional[Sequence[int]] = None,
+                transport: Optional[str] = None) -> None:
         self._world.trace.record_comm(
             kind, self._rank, peer, nbytes,
             counts=counts, comm_size=self._size, comm_id=self._id,
+            transport=transport,
         )
 
     # -- barrier -----------------------------------------------------------
@@ -223,14 +236,11 @@ class CollectiveMixin:
 
     def Allgatherv(self, sendbuf: np.ndarray) -> list[np.ndarray]:
         """Variable-size allgather; returns the per-rank arrays in order."""
-        contribution = np.ascontiguousarray(sendbuf).copy()
-        result = self._collective(
-            "allgatherv",
-            contribution,
-            lambda c: [c[r] for r in range(self._size)],
-        )
-        self._record("allgather", None, int(contribution.nbytes))
-        return [arr.copy() for arr in result]
+        desc = describe(sendbuf)
+        transport = self._transport_for([desc])
+        result = transport.allgatherv(self, sendbuf)
+        self._record("allgather", None, desc.nbytes, transport=transport.name)
+        return result
 
     def gather(self, obj: Any, root: int = 0) -> Optional[list[Any]]:
         self._check_root(root)
@@ -337,14 +347,11 @@ class CollectiveMixin:
             raise CommunicationError(
                 f"sendcounts sum {sum(counts)} != sendbuf size {arr.size}"
             )
-        offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
-        segments = [
-            arr[offsets[r]: offsets[r + 1]].copy() for r in range(self._size)
-        ]
-        table = self._collective(
-            "alltoallv", segments, lambda c: [c[r] for r in range(self._size)]
+        segments = split_by_counts(arr, counts)
+        transport = self._transport_for([describe(seg) for seg in segments])
+        received = transport.exchange(
+            self, "alltoallv", segments, own_result=False
         )
-        received = [table[src][self._rank] for src in range(self._size)]
         if recvcounts is not None:
             actual = [seg.size for seg in received]
             expected = [int(c) for c in recvcounts]
@@ -361,6 +368,7 @@ class CollectiveMixin:
         self._record(
             "alltoallv", None, int(arr.nbytes),
             counts=[c * itemsize for c in counts],
+            transport=transport.name,
         )
         if recvbuf is None:
             return result
@@ -395,21 +403,20 @@ class CollectiveMixin:
             raise CommunicationError(
                 f"exchange_arrays needs {self._size} entries, got {len(per_dest)}"
             )
-        payload = [
-            None if a is None else np.ascontiguousarray(a).copy() for a in per_dest
-        ]
-        table = self._collective(
-            "exchange_arrays", payload, lambda c: [c[r] for r in range(self._size)]
+        descs = [None if a is None else describe(a) for a in per_dest]
+        transport = self._transport_for(descs)
+        received = transport.exchange(
+            self, "exchange_arrays", per_dest, own_result=True
         )
-        counts = [0 if a is None else int(a.nbytes) for a in payload]
-        self._record("alltoallv", None, sum(counts), counts=counts)
-        received = []
-        for src in range(self._size):
-            arr = table[src][self._rank]
-            received.append(
-                np.empty(0, dtype=np.float64) if arr is None else arr.copy()
-            )
-        return received
+        counts = [0 if d is None else d.nbytes for d in descs]
+        self._record(
+            "alltoallv", None, sum(counts), counts=counts,
+            transport=transport.name,
+        )
+        return [
+            np.empty(0, dtype=np.float64) if arr is None else arr
+            for arr in received
+        ]
 
     # -- helpers ---------------------------------------------------------------
 

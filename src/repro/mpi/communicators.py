@@ -1,0 +1,416 @@
+"""Capability-dispatched transports for the vector collectives.
+
+:class:`repro.mpi.collectives.CollectiveMixin` owns the *semantics* of a
+collective (validation, trace recording, result shaping); this module
+owns the *transport* — how the payload bytes actually move through the
+rendezvous slot.  Three concrete strategies implement the
+:class:`CommunicatorBase` protocol:
+
+``naive``
+    Today's object path: one copied numpy array per peer travels through
+    the slot.  Always correct, always available; the default.
+``packed``
+    Descriptor-driven packing: every segment of an ``Allgatherv`` /
+    ``Alltoallv`` / ``exchange_arrays`` round is flattened into a single
+    contiguous ``uint8`` send buffer (leased from a
+    :class:`repro.util.bufferpool.BufferPool`), shipped with a
+    :class:`~repro.mpi.descriptor.MessageDescriptor` offset table, and
+    unpacked on the receive side into one private assembly buffer.  Many
+    small copies and allocations collapse into one lease + one big copy
+    per rank per round.
+``device``
+    A device-direct stub: asserts that every payload is device-resident
+    (``__cuda_array_interface__``), stages through host via the array's
+    ``.get()``, and delegates to the packed path.  It pins down the
+    dispatch surface and the residency contract so a real GPU-aware
+    transport can drop in behind the same name.
+
+Selection is per-payload through :meth:`CommunicatorBase.can_handle`
+driven by descriptors, with the strategy itself chosen per communicator
+by constructor argument or the ``REPRO_COMM`` environment variable
+(``naive`` | ``packed`` | ``device`` | ``auto``).  Transport choice must
+be collectively consistent — all ranks of a communicator resolve the
+same spec, and the rendezvous opname carries the transport tag so a
+divergent selection fails loudly (``CommunicationError``) instead of
+deadlocking or corrupting data.
+
+Transports never record trace events; the mixin does, from the logical
+payload descriptors, so event kinds, counts and byte totals are
+invariant under transport choice (the parity matrix in
+``tests/mpi/test_communicators.py`` asserts exactly that).  The chosen
+path is visible as the ``transport`` tag on each event and through the
+``comm.packed_bytes`` / ``bufferpool.hits|misses`` metrics.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from collections import deque
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.mpi.descriptor import (
+    MessageDescriptor,
+    describe,
+    pack_segments,
+    unpack_segments,
+)
+from repro.util.bufferpool import BufferPool
+from repro.util.errors import CommunicationError, ConfigurationError
+
+__all__ = [
+    "CommunicatorBase",
+    "NaiveCommunicator",
+    "PackedBufferCommunicator",
+    "DeviceDirectCommunicator",
+    "TRANSPORTS",
+    "available_transports",
+    "resolve_transport",
+    "make_transport",
+]
+
+#: Environment variable selecting the default transport for new
+#: communicators (overridden by the ``Comm``/``run_spmd`` constructor
+#: argument).
+COMM_ENV_VAR = "REPRO_COMM"
+
+#: Preference order used by ``auto`` dispatch: most specialized first.
+AUTO_ORDER = ("device", "packed", "naive")
+
+
+class CommunicatorBase(abc.ABC):
+    """Transport strategy protocol for the vector collectives.
+
+    One instance is owned per :class:`~repro.mpi.comm.Comm` per rank
+    (created lazily on first use), so instances may keep mutable
+    per-rank state — the packed transport keeps its buffer pool and
+    in-flight leases here.
+
+    The two entry points mirror the two payload shapes the mixin
+    produces: a single array everyone contributes (:meth:`allgatherv`)
+    and a one-array-per-destination exchange (:meth:`exchange`, backing
+    both ``Alltoallv`` and ``exchange_arrays``).
+    """
+
+    #: Registry key and the ``transport`` tag stamped on trace events.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def capabilities(self) -> frozenset[str]:
+        """Capability tags (``host``, ``device``, ``object``, ``packed``)."""
+
+    def can_handle(self, descs: Sequence[Optional[MessageDescriptor]]) -> bool:
+        """Whether this transport can move a payload with these descriptors.
+
+        The default implementation accepts host-resident payloads only;
+        device transports override.  ``None`` entries (empty slots in an
+        exchange) are always acceptable.
+        """
+        return all(d is None or d.on_host for d in descs)
+
+    @abc.abstractmethod
+    def allgatherv(self, coll: Any, sendbuf: np.ndarray) -> list[np.ndarray]:
+        """Move one array from every rank to every rank (rank order).
+
+        Returns caller-owned arrays (safe to mutate, no aliasing with
+        any other rank's result).
+        """
+
+    @abc.abstractmethod
+    def exchange(
+        self,
+        coll: Any,
+        opname: str,
+        per_dest: Sequence[Optional[np.ndarray]],
+        *,
+        own_result: bool = True,
+    ) -> list[Optional[np.ndarray]]:
+        """Move one array (or ``None``) to each destination rank.
+
+        Returns the arrays received from each source, in source order.
+        With ``own_result`` the returned arrays are caller-owned; without
+        it a transport may return internal arrays the caller promises to
+        only read-then-drop (the ``Alltoallv`` concatenate path).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class NaiveCommunicator(CommunicatorBase):
+    """Today's object path: per-peer copied arrays through the slot.
+
+    This is byte-for-byte the pre-hierarchy behavior of
+    ``CollectiveMixin`` — same copies, same rendezvous opnames — kept as
+    the default and as the reference implementation the packed transport
+    must match bitwise.
+    """
+
+    name = "naive"
+
+    def capabilities(self) -> frozenset[str]:
+        return frozenset({"host", "object"})
+
+    def allgatherv(self, coll: Any, sendbuf: np.ndarray) -> list[np.ndarray]:
+        contribution = np.ascontiguousarray(sendbuf).copy()
+        result = coll._collective(
+            "allgatherv",
+            contribution,
+            lambda c: [c[r] for r in range(coll._size)],
+        )
+        return [arr.copy() for arr in result]
+
+    def exchange(
+        self,
+        coll: Any,
+        opname: str,
+        per_dest: Sequence[Optional[np.ndarray]],
+        *,
+        own_result: bool = True,
+    ) -> list[Optional[np.ndarray]]:
+        payload = [
+            None if a is None else np.ascontiguousarray(a).copy()
+            for a in per_dest
+        ]
+        table = coll._collective(
+            opname, payload, lambda c: [c[r] for r in range(coll._size)]
+        )
+        received = [table[src][coll._rank] for src in range(coll._size)]
+        if own_result:
+            received = [None if a is None else a.copy() for a in received]
+        return received
+
+
+class PackedBufferCommunicator(CommunicatorBase):
+    """Descriptor-driven contiguous packing with pooled send buffers.
+
+    Send side: all segments of a round are packed into one ``uint8``
+    buffer leased from a per-rank :class:`BufferPool`; the contribution
+    is ``(buffer, descriptors, offsets)``.  Receive side: each rank
+    copies exactly its spans out of the peers' packed buffers into one
+    private assembly buffer and returns typed views — disjoint, so the
+    views are caller-owned by construction.
+
+    Lease lifetime: a peer may still be reading this rank's packed
+    buffer after this rank's collective call returns, but it must finish
+    before it enters the *next* collective on the same communicator, and
+    the rendezvous protocol forbids any rank entering round ``N+1``
+    before every rank completed round ``N``.  Releasing a lease two
+    transport rounds after it was acquired is therefore provably safe;
+    :meth:`_reclaim` does exactly that, which is what turns the pool's
+    misses into steady-state hits.
+    """
+
+    name = "packed"
+
+    def __init__(self, pool: Optional[BufferPool] = None) -> None:
+        self.pool = pool if pool is not None else BufferPool()
+        self._pending: deque[tuple[int, np.ndarray]] = deque()
+        self._calls = 0
+
+    def capabilities(self) -> frozenset[str]:
+        return frozenset({"host", "packed"})
+
+    # -- pool bookkeeping --------------------------------------------------
+
+    def _reclaim(self) -> None:
+        """Release leases whose round is two collective calls behind."""
+        while self._pending and self._pending[0][0] <= self._calls - 2:
+            self.pool.release(self._pending.popleft()[1])
+
+    def _lease(self, nbytes: int, metrics: Any) -> np.ndarray:
+        hits, misses = self.pool.hits, self.pool.misses
+        buf = self.pool.acquire(nbytes)
+        metrics.counter("bufferpool.hits").inc(self.pool.hits - hits)
+        metrics.counter("bufferpool.misses").inc(self.pool.misses - misses)
+        return buf
+
+    def _finish_round(self, lease: np.ndarray, metrics: Any, nbytes: int) -> None:
+        self._pending.append((self._calls, lease))
+        self._calls += 1
+        metrics.counter("comm.packed_bytes").inc(nbytes)
+
+    # -- collectives -------------------------------------------------------
+
+    def allgatherv(self, coll: Any, sendbuf: np.ndarray) -> list[np.ndarray]:
+        self._reclaim()
+        metrics = coll.trace.metrics
+        desc = describe(sendbuf)
+        lease = self._lease(desc.nbytes, metrics)
+        buf = lease[: desc.nbytes]
+        if desc.nbytes:
+            # Gather straight into the pooled send buffer — one pass
+            # even when the payload is strided (the object path pays
+            # ascontiguousarray + copy there).
+            np.copyto(buf.view(desc.dtype).reshape(desc.shape), sendbuf)
+        size = coll._size
+
+        table = coll._collective(
+            "allgatherv@packed",
+            (buf, desc),
+            lambda c: [c[r] for r in range(size)],
+        )
+        # Assemble every rank's span into one private buffer: same byte
+        # traffic as the object path but a single allocation, and the
+        # views into it are disjoint, hence caller-owned.
+        descs = [d for _, d in table]
+        offsets, total = [], 0
+        for d in descs:
+            offsets.append(total)
+            total += d.nbytes
+        private = np.empty(total, dtype=np.uint8)
+        for (src, d), off in zip(table, offsets):
+            private[off: off + d.nbytes] = src
+        self._finish_round(lease, metrics, desc.nbytes)
+        return unpack_segments(private, descs, offsets)
+
+    def exchange(
+        self,
+        coll: Any,
+        opname: str,
+        per_dest: Sequence[Optional[np.ndarray]],
+        *,
+        own_result: bool = True,
+    ) -> list[Optional[np.ndarray]]:
+        self._reclaim()
+        metrics = coll.trace.metrics
+        total = sum(
+            0 if a is None else int(np.asarray(a).nbytes) for a in per_dest
+        )
+        lease = self._lease(total, metrics)
+        buf, descs, offsets = pack_segments(per_dest, out=lease)
+        rank, size = coll._rank, coll._size
+        table = coll._collective(f"{opname}@packed", (buf, descs, offsets), dict)
+
+        # Assemble this rank's column into one private buffer.
+        my_descs: list[Optional[MessageDescriptor]] = []
+        my_offsets: list[int] = []
+        my_total = 0
+        for src in range(size):
+            d = table[src][1][rank]
+            my_descs.append(d)
+            my_offsets.append(my_total)
+            my_total += 0 if d is None else d.nbytes
+        private = np.empty(my_total, dtype=np.uint8)
+        for src in range(size):
+            sbuf, sdescs, soffs = table[src]
+            d = sdescs[rank]
+            if d is None or d.nbytes == 0:
+                continue
+            off = soffs[rank]
+            private[my_offsets[src]: my_offsets[src] + d.nbytes] = (
+                sbuf[off: off + d.nbytes]
+            )
+        self._finish_round(lease, metrics, total)
+        return unpack_segments(private, my_descs, my_offsets)
+
+
+class DeviceDirectCommunicator(CommunicatorBase):
+    """Device-direct transport stub: residency contract + host staging.
+
+    Asserts every payload is device-resident (rejects host arrays with a
+    clear error instead of silently staging them), then moves the data by
+    staging through host memory via the array's ``.get()`` and the packed
+    transport — the behavior a PCIe-staging GPU run has before
+    GPUDirect.  Results are returned as host arrays; a real CUDA-aware
+    transport replaces the staging while keeping this dispatch surface.
+    The staged byte volume is visible as the ``comm.device_staged_bytes``
+    counter so modeled runs can charge the PCIe crossings honestly.
+    """
+
+    name = "device"
+
+    def __init__(self) -> None:
+        self._host = PackedBufferCommunicator()
+
+    def capabilities(self) -> frozenset[str]:
+        return frozenset({"device", "packed"})
+
+    def can_handle(self, descs: Sequence[Optional[MessageDescriptor]]) -> bool:
+        present = [d for d in descs if d is not None]
+        return bool(present) and all(not d.on_host for d in present)
+
+    def _assert_device(self, arrs: Sequence[Optional[Any]]) -> None:
+        for a in arrs:
+            if a is None:
+                continue
+            d = describe(a)
+            if d.on_host:
+                raise CommunicationError(
+                    "device-direct transport requires device-resident "
+                    f"payloads; got a host array (shape={d.shape}, "
+                    f"dtype={d.dtype}) — stage it with backend.asarray() "
+                    "or select REPRO_COMM=packed"
+                )
+
+    def _stage_host(self, arr: Optional[Any], metrics: Any) -> Optional[np.ndarray]:
+        if arr is None:
+            return None
+        getter = getattr(arr, "get", None)
+        if getter is None:
+            raise CommunicationError(
+                "device array does not support host staging (.get()); "
+                "cannot stage it for the device-direct stub"
+            )
+        host = np.ascontiguousarray(getter())
+        metrics.counter("comm.device_staged_bytes").inc(int(host.nbytes))
+        return host
+
+    def allgatherv(self, coll: Any, sendbuf: Any) -> list[np.ndarray]:
+        self._assert_device([sendbuf])
+        host = self._stage_host(sendbuf, coll.trace.metrics)
+        return self._host.allgatherv(coll, host)
+
+    def exchange(
+        self,
+        coll: Any,
+        opname: str,
+        per_dest: Sequence[Optional[Any]],
+        *,
+        own_result: bool = True,
+    ) -> list[Optional[np.ndarray]]:
+        self._assert_device(per_dest)
+        metrics = coll.trace.metrics
+        staged = [self._stage_host(a, metrics) for a in per_dest]
+        return self._host.exchange(coll, opname, staged, own_result=own_result)
+
+
+#: Transport registry: spec name -> factory.
+TRANSPORTS = {
+    "naive": NaiveCommunicator,
+    "packed": PackedBufferCommunicator,
+    "device": DeviceDirectCommunicator,
+}
+
+
+def available_transports() -> list[str]:
+    """Registered transport names plus the ``auto`` dispatcher."""
+    return [*TRANSPORTS, "auto"]
+
+
+def resolve_transport(spec: Optional[str]) -> str:
+    """Normalize a transport spec (constructor arg > env > ``naive``)."""
+    if spec is None:
+        spec = os.environ.get(COMM_ENV_VAR, "")
+    spec = spec.strip().lower() or "naive"
+    if spec != "auto" and spec not in TRANSPORTS:
+        raise ConfigurationError(
+            f"unknown transport {spec!r}; choose from "
+            f"{', '.join(available_transports())} "
+            f"(set via ${COMM_ENV_VAR} or the comm constructor)"
+        )
+    return spec
+
+
+def make_transport(name: str) -> CommunicatorBase:
+    """Instantiate a registered transport by name."""
+    try:
+        factory = TRANSPORTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown transport {name!r}; choose from "
+            f"{', '.join(available_transports())}"
+        ) from None
+    return factory()

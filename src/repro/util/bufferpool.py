@@ -1,0 +1,137 @@
+"""Reusable byte-buffer pool for transport staging and pooled kernels.
+
+The packed-buffer communicator (:mod:`repro.mpi.communicators`) and the
+backend device surface (:meth:`repro.backend.base.ArrayBackend.empty_like_pool`)
+both need scratch arrays whose sizes repeat call after call — pack
+buffers for halo exchanges, staging areas for gathered blocks.
+Allocating them fresh every time puts ``malloc`` and page-faulting on
+the communication critical path; a :class:`BufferPool` keeps released
+buffers in size-bucketed free lists and hands them back on the next
+:meth:`~BufferPool.acquire` of a fitting size.
+
+Buffers are raw ``uint8`` arrays whose capacity is rounded up to the
+next power of two (so close-but-unequal request sizes share a bucket);
+callers slice and :meth:`numpy.ndarray.view` them into shape.  Contents
+are *not* zeroed — a pooled buffer is uninitialized memory, like
+``np.empty``.
+
+Reuse statistics (hits, misses, bytes served, high-water resident
+bytes) are first-class: the packed communicator mirrors them into the
+run's ``telemetry.metrics`` registry as ``bufferpool.hits|misses``
+counters, and ``rocketrig --trace`` surfaces them next to the
+communication summary.  All methods are thread-safe; per-rank owners
+(one pool per communicator instance) never contend in practice.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["BufferPool"]
+
+
+def _bucket(nbytes: int) -> int:
+    """Capacity bucket for a request: next power of two, min 256 bytes."""
+    cap = 256
+    while cap < nbytes:
+        cap <<= 1
+    return cap
+
+
+class BufferPool:
+    """Size-bucketed free lists of reusable ``uint8`` scratch arrays.
+
+    Parameters
+    ----------
+    max_resident:
+        Soft cap (bytes) on memory kept in the free lists; releasing a
+        buffer that would exceed it drops the buffer instead (the pool
+        never blocks and never fails — it only stops caching).
+    """
+
+    def __init__(self, max_resident: int = 256 * 1024 * 1024) -> None:
+        self.max_resident = int(max_resident)
+        self._free: dict[int, list[np.ndarray]] = {}
+        self._lock = threading.Lock()
+        self._resident = 0
+        self.hits = 0
+        self.misses = 0
+        self.bytes_served = 0
+        self.high_water = 0
+
+    def acquire(self, nbytes: int) -> np.ndarray:
+        """A ``uint8`` array of capacity >= ``nbytes`` (uninitialized).
+
+        Returns a pooled buffer when one of a fitting bucket is free (a
+        *hit*), else allocates a fresh one (a *miss*).  Slice the result
+        to the exact size needed: ``pool.acquire(n)[:n]``.  The array
+        must be handed back through :meth:`release` (or dropped — the
+        pool holds no reference to leased buffers).
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot acquire {nbytes} bytes")
+        cap = _bucket(int(nbytes))
+        with self._lock:
+            bucket = self._free.get(cap)
+            if bucket:
+                buf = bucket.pop()
+                self._resident -= cap
+                self.hits += 1
+                self.bytes_served += nbytes
+                return buf
+            self.misses += 1
+            self.bytes_served += nbytes
+        return np.empty(cap, dtype=np.uint8)
+
+    def release(self, buf: Optional[np.ndarray]) -> None:
+        """Return a buffer obtained from :meth:`acquire` to the pool.
+
+        Accepts ``None`` (no-op) and any sliced view of a pooled buffer
+        (the underlying base array is what goes back).  Buffers beyond
+        :attr:`max_resident` are dropped rather than cached.
+        """
+        if buf is None:
+            return
+        base = buf
+        while isinstance(base.base, np.ndarray):
+            base = base.base
+        if base.dtype != np.uint8 or base.base is not None:
+            raise ValueError("release() takes buffers from acquire()")
+        cap = int(base.size)
+        with self._lock:
+            if self._resident + cap > self.max_resident:
+                return
+            self._free.setdefault(cap, []).append(base)
+            self._resident += cap
+            self.high_water = max(self.high_water, self._resident)
+
+    def stats(self) -> dict[str, int]:
+        """Reuse statistics snapshot (JSON-able)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "bytes_served": self.bytes_served,
+                "resident_bytes": self._resident,
+                "high_water_bytes": self.high_water,
+            }
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every cached buffer (stats are kept)."""
+        with self._lock:
+            self._free.clear()
+            self._resident = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<BufferPool hits={self.hits} misses={self.misses} "
+            f"resident={self._resident}B>"
+        )

@@ -1,0 +1,108 @@
+"""Device surface of the backend layer: residency, staging, pooling,
+registry description rows and the import-gated cupy skip path."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    available_backends,
+    describe_backends,
+    get_backend,
+    unavailable_backends,
+)
+from repro.util.bufferpool import BufferPool
+from repro.util.errors import ConfigurationError
+
+
+class FakeDeviceArray:
+    """Duck-typed device array: CAI + ``.get()``, like cupy."""
+
+    def __init__(self, host):
+        self._host = np.ascontiguousarray(host)
+
+    @property
+    def __cuda_array_interface__(self):
+        return {
+            "shape": self._host.shape,
+            "typestr": self._host.dtype.str,
+            "data": (self._host.ctypes.data, False),
+            "strides": None,
+            "version": 2,
+        }
+
+    def get(self):
+        return self._host.copy()
+
+
+class TestDeviceSurface:
+    @pytest.mark.parametrize("name", available_backends())
+    def test_registered_backends_expose_residency(self, name):
+        backend = get_backend(name)
+        caps = backend.capabilities()
+        assert isinstance(caps, frozenset)
+        if backend.device == "cpu":
+            assert "host" in caps
+        else:
+            assert backend.device.startswith("cuda:")
+            assert "device" in caps
+
+    def test_host_asarray_round_trip(self):
+        backend = get_backend("numpy")
+        a = np.arange(12.0).reshape(3, 4)
+        staged = backend.asarray(a)
+        assert isinstance(staged, np.ndarray)
+        np.testing.assert_array_equal(backend.to_host(staged), a)
+
+    def test_to_host_downloads_duck_typed_device_arrays(self):
+        backend = get_backend("numpy")
+        host = np.linspace(0.0, 1.0, 7)
+        down = backend.to_host(FakeDeviceArray(host))
+        assert isinstance(down, np.ndarray)
+        np.testing.assert_array_equal(down, host)
+
+    def test_empty_like_pool_leases_and_releases(self):
+        backend = get_backend("numpy")
+        pool = BufferPool()
+        proto = np.empty((6, 5), dtype=np.float32)
+        scratch = backend.empty_like_pool(proto, pool)
+        assert scratch.shape == proto.shape
+        assert scratch.dtype == proto.dtype
+        scratch[:] = 3.0
+        pool.release(scratch)
+        # Same-size lease comes back from the pool, not the allocator.
+        again = backend.empty_like_pool(proto, pool)
+        assert pool.stats()["hits"] == 1
+        pool.release(again)
+
+
+class TestRegistryDescription:
+    def test_describe_backends_rows(self):
+        rows = describe_backends()
+        by_name = {r["name"]: r for r in rows}
+        assert set(by_name) >= set(available_backends())
+        numpy_row = by_name["numpy"]
+        assert numpy_row["status"] == "available"
+        assert numpy_row["device"] == "cpu"
+        assert "host" in numpy_row["capabilities"].split(",")
+        for name, row in by_name.items():
+            if row["status"] == "unavailable":
+                assert row["device"] == "-"
+                assert row["capabilities"]  # the reason string
+
+    def test_cupy_skip_path_is_visible_without_cuda(self):
+        # In this container cupy cannot register; the registry must say
+        # so explicitly rather than silently omitting the engine.
+        missing = unavailable_backends()
+        if "cupy" in available_backends():
+            pytest.skip("cupy actually available here")
+        assert "cupy" in missing
+        assert "cupy" in missing["cupy"] or "CUDA" in missing["cupy"]
+
+    def test_unknown_backend_error_carries_unavailable_hint(self):
+        if "cupy" in available_backends():
+            pytest.skip("cupy actually available here")
+        with pytest.raises(ConfigurationError) as err:
+            get_backend("cupy")
+        # The resolution error explains *why* the engine is absent.
+        assert "cupy" in str(err.value)
+        assert unavailable_backends()["cupy"] in str(err.value)

@@ -79,6 +79,29 @@ class TestParser:
         assert main(["--list-backends"]) == 0
         assert "numpy" in capsys.readouterr().out
 
+    def test_list_backends_columns(self, capsys):
+        """--list-backends is a device/capability table covering both
+        registered engines and import-gated absentees, plus the comm
+        transport registry."""
+        from repro import mpi
+        from repro.backend import describe_backends
+
+        assert main(["--list-backends"]) == 0
+        out = capsys.readouterr().out
+        for column in ("name", "status", "device", "capabilities"):
+            assert column in out
+        for row in describe_backends():
+            assert row["name"] in out
+            assert row["status"] in out
+        for transport in mpi.available_transports():
+            assert transport in out
+
+    def test_comm_flag(self):
+        args = build_parser().parse_args(["--comm", "packed"])
+        assert args.comm == "packed"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--comm", "carrier_pigeon"])
+
     def test_br_solver_registry_single_source_of_truth(self, capsys):
         """--list-solvers, the --br-solver choices, config construction
         and deck-axis expansion must all answer from one registry —
@@ -130,6 +153,15 @@ class TestRun:
         assert np.isfinite(diag["amplitude"])
         out = capsys.readouterr().out
         assert "modeled total" in out
+
+    def test_comm_flag_is_numerically_neutral(self):
+        """--comm packed must reproduce the naive run bit for bit."""
+        flags = ["--nodes", "16", "--steps", "2", "--ranks", "2"]
+        ref = run_from_args(build_parser().parse_args(flags))
+        packed = run_from_args(
+            build_parser().parse_args(flags + ["--comm", "packed"])
+        )
+        assert ref == packed
 
     def test_high_order_cutoff_run(self, tmp_path):
         args = build_parser().parse_args(

@@ -1,0 +1,116 @@
+"""Communicator × backend parity matrix over the solver's comm paths.
+
+ISSUE 8 acceptance: selecting ``REPRO_COMM=packed`` must change no
+numerical result anywhere — not within 1e-12, but *bitwise* — because
+the packed transport moves the same bytes the naive object path moves,
+just packed.  This matrix drives the three communication-heavy solver
+paths (the cutoff solver's Verlet-skin cache, its migrate/halo
+exchanges, and the tree solver's surface allgather) on every registered
+compute backend under both transports and asserts:
+
+* bitwise-identical gathered surface state and diagnostics, and
+* identical ``CommTrace`` event counts and byte totals per collective
+  kind — transports may tag events but never change what is recorded.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.backend import available_backends
+from repro.core import InitialCondition, Solver, SolverConfig, gather_global_state
+from tests.conftest import spmd
+
+BACKENDS = available_backends()
+
+IC = InitialCondition(kind="single_mode", magnitude=0.08, period=0.5)
+
+#: The three comm-heavy solver paths of the parity matrix.
+PATHS = {
+    # cutoff solver with a Verlet skin: neighbor_cache allreduces +
+    # migrate/halo exchange_arrays rounds (the skin path reuses them).
+    "skin": dict(
+        nranks=4, nsteps=3,
+        config=dict(
+            num_nodes=(12, 12), low=(-1, -1), high=(1, 1),
+            periodic=(False, False), order="high",
+            br_solver="cutoff", cutoff=0.6, skin=0.2,
+            dt=0.004, eps=0.05,
+            spatial_low=(-2, -2, -1), spatial_high=(2, 2, 1),
+        ),
+    ),
+    # cutoff without a skin: fresh migrate + halo exchange every
+    # evaluation (the Alltoallv/exchange_arrays-heavy path).
+    "halo": dict(
+        nranks=4, nsteps=2,
+        config=dict(
+            num_nodes=(12, 12), low=(-1, -1), high=(1, 1),
+            periodic=(False, False), order="high",
+            br_solver="cutoff", cutoff=0.6,
+            dt=0.004, eps=0.05,
+            spatial_low=(-2, -2, -1), spatial_high=(2, 2, 1),
+        ),
+    ),
+    # tree solver: ring Allgatherv of every rank's surface block.
+    "tree": dict(
+        nranks=2, nsteps=2,
+        config=dict(
+            num_nodes=(12, 12), low=(-np.pi, -np.pi), high=(np.pi, np.pi),
+            order="high", br_solver="tree", dt=0.005, eps=0.1,
+        ),
+    ),
+}
+
+
+def _run(path, backend, transport, trace=None):
+    spec = PATHS[path]
+    cfg = SolverConfig(backend=backend, **spec["config"])
+
+    def program(comm):
+        solver = Solver(comm, cfg, IC)
+        solver.run(spec["nsteps"])
+        z, w = gather_global_state(solver.pm)
+        diag = solver.diagnostics()
+        return (z, w, diag) if comm.rank == 0 else None
+
+    return spmd(
+        spec["nranks"], program, trace=trace, timeout=120.0,
+        transport=transport,
+    )[0]
+
+
+def _event_signature(trace):
+    kinds = Counter(e.kind for e in trace.events)
+    nbytes = Counter()
+    for e in trace.events:
+        nbytes[e.kind] += e.nbytes
+    return kinds, nbytes
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("path", sorted(PATHS))
+class TestTransportBackendMatrix:
+    def test_packed_bitwise_identical_and_trace_invariant(self, path, backend):
+        ref_trace, packed_trace = mpi.CommTrace(), mpi.CommTrace()
+        z_ref, w_ref, diag_ref = _run(path, backend, "naive", ref_trace)
+        z_pkd, w_pkd, diag_pkd = _run(path, backend, "packed", packed_trace)
+
+        ctx = f"{path}/{backend}"
+        assert np.array_equal(z_ref, z_pkd), f"{ctx}: surface z diverged"
+        assert np.array_equal(w_ref, w_pkd), f"{ctx}: vorticity diverged"
+        for key in ("amplitude", "vorticity_norm", "time", "steps"):
+            assert diag_ref[key] == diag_pkd[key], f"{ctx}: diag {key!r}"
+
+        ref_kinds, ref_nbytes = _event_signature(ref_trace)
+        packed_kinds, packed_nbytes = _event_signature(packed_trace)
+        assert packed_kinds == ref_kinds, f"{ctx}: event counts diverged"
+        assert packed_nbytes == ref_nbytes, f"{ctx}: event bytes diverged"
+
+        # The runs really took different transports.
+        ref_tags = {e.transport for e in ref_trace.events if e.transport}
+        packed_tags = {e.transport for e in packed_trace.events if e.transport}
+        assert ref_tags <= {"naive"}, ref_tags
+        assert packed_tags <= {"packed"}, packed_tags
+        assert "packed" in packed_tags, f"{ctx}: packed path never engaged"

@@ -1,0 +1,415 @@
+"""Transport hierarchy: descriptors, buffer pool, parity, dispatch.
+
+The contract under test (see :mod:`repro.mpi.communicators`): every
+transport must return bitwise-identical collective results, the mixin
+must record identical trace events regardless of the transport (only
+the ``transport`` tag differs), selection must resolve constructor >
+``$REPRO_COMM`` > naive and fail loudly on payloads a forced transport
+cannot move, and the packed transport's pooled leases must actually be
+reused (steady-state hits) without ever being released early.
+"""
+
+import os
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.mpi.communicators import (
+    AUTO_ORDER,
+    DeviceDirectCommunicator,
+    NaiveCommunicator,
+    PackedBufferCommunicator,
+    available_transports,
+    make_transport,
+    resolve_transport,
+)
+from repro.mpi.descriptor import (
+    MessageDescriptor,
+    describe,
+    pack_segments,
+    payload_nbytes,
+    split_by_counts,
+    unpack_segments,
+)
+from repro.util.bufferpool import BufferPool
+from repro.util.errors import CommunicationError, ConfigurationError
+from tests.conftest import spmd
+
+
+class FakeDeviceArray:
+    """Duck-typed device array: CUDA array interface + ``.get()``.
+
+    Enough surface for the descriptor layer and the device-direct
+    transport to treat it exactly like a cupy array, with the payload
+    actually living in a private host buffer.
+    """
+
+    def __init__(self, host):
+        self._host = np.ascontiguousarray(host)
+
+    @property
+    def __cuda_array_interface__(self):
+        return {
+            "shape": self._host.shape,
+            "typestr": self._host.dtype.str,
+            "data": (self._host.ctypes.data, False),
+            "strides": None,
+            "version": 2,
+        }
+
+    def get(self):
+        return self._host.copy()
+
+
+# -- descriptors -----------------------------------------------------------
+
+
+class TestMessageDescriptor:
+    def test_describe_host_array(self):
+        d = describe(np.zeros((3, 4), dtype=np.float32))
+        assert d.shape == (3, 4)
+        assert np.dtype(d.dtype) == np.float32
+        assert d.on_host and d.contiguous
+        assert d.size == 12 and d.nbytes == 48 and d.itemsize == 4
+
+    def test_describe_strided_view(self):
+        base = np.zeros((8, 8))
+        d = describe(base[:, :3])
+        assert not d.contiguous
+        assert d.shape == (8, 3)
+
+    def test_describe_device_array(self):
+        d = describe(FakeDeviceArray(np.zeros((5, 2))))
+        assert d.device.startswith("cuda")
+        assert not d.on_host
+        assert d.shape == (5, 2) and d.contiguous
+
+    def test_payload_nbytes_array_vs_object(self):
+        arr = np.zeros(100)
+        assert payload_nbytes(arr) == arr.nbytes
+        assert payload_nbytes(FakeDeviceArray(arr)) == arr.nbytes
+        # Opaque objects fall back to pickled size; unpicklables to 0.
+        assert payload_nbytes({"a": 1}) > 0
+        assert payload_nbytes(lambda: None) == 0
+
+    def test_split_by_counts_views(self):
+        arr = np.arange(10.0)
+        parts = split_by_counts(arr, [3, 0, 7])
+        assert [p.size for p in parts] == [3, 0, 7]
+        np.testing.assert_array_equal(parts[2], arr[3:])
+        assert parts[0].base is arr
+
+    def test_pack_unpack_round_trip(self):
+        segs = [
+            np.arange(5.0),
+            None,
+            np.arange(6, dtype=np.int32).reshape(2, 3),
+            np.empty(0),
+            np.linspace(0, 1, 7)[::2],  # strided
+        ]
+        buf, descs, offsets = pack_segments(segs)
+        out = unpack_segments(buf, descs, offsets)
+        assert out[1] is None
+        np.testing.assert_array_equal(out[0], segs[0])
+        np.testing.assert_array_equal(out[2], segs[2])
+        assert out[2].dtype == np.int32 and out[2].shape == (2, 3)
+        assert out[3].size == 0 and out[3].dtype == np.float64
+        np.testing.assert_array_equal(out[4], segs[4])
+
+    def test_pack_into_lease_too_small(self):
+        with pytest.raises(ValueError, match="too small"):
+            pack_segments([np.arange(100.0)], out=np.empty(8, dtype=np.uint8))
+
+
+# -- buffer pool -----------------------------------------------------------
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        pool = BufferPool()
+        a = pool.acquire(1000)
+        assert a.size == 1024  # power-of-two bucket
+        assert (pool.hits, pool.misses) == (0, 1)
+        pool.release(a)
+        b = pool.acquire(900)  # same bucket
+        assert b is a
+        assert (pool.hits, pool.misses) == (1, 1)
+        assert pool.hit_rate == 0.5
+
+    def test_release_accepts_typed_views(self):
+        pool = BufferPool()
+        lease = pool.acquire(80)
+        view = lease[:80].view(np.float64).reshape(2, 5)
+        pool.release(view)
+        assert pool.acquire(80) is lease
+
+    def test_max_resident_drops_excess(self):
+        pool = BufferPool(max_resident=1024)
+        a, b = pool.acquire(1024), pool.acquire(1024)
+        pool.release(a)
+        pool.release(b)  # over the soft cap: dropped, not cached
+        assert pool.stats()["resident_bytes"] == 1024
+        assert pool.acquire(1024) is a
+
+    def test_clear_and_stats(self):
+        pool = BufferPool()
+        pool.release(pool.acquire(256))
+        pool.clear()
+        assert pool.stats()["resident_bytes"] == 0
+        assert pool.acquire(256).size == 256  # miss again
+        assert pool.misses == 2
+
+
+# -- selection -------------------------------------------------------------
+
+
+class TestTransportSelection:
+    def test_registry_and_factories(self):
+        assert available_transports() == ["naive", "packed", "device", "auto"]
+        assert isinstance(make_transport("naive"), NaiveCommunicator)
+        assert isinstance(make_transport("packed"), PackedBufferCommunicator)
+        assert isinstance(make_transport("device"), DeviceDirectCommunicator)
+        with pytest.raises(ConfigurationError):
+            make_transport("rdma")
+
+    def test_resolution_order(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMM", raising=False)
+        assert resolve_transport(None) == "naive"
+        monkeypatch.setenv("REPRO_COMM", "packed")
+        assert resolve_transport(None) == "packed"
+        assert resolve_transport("auto") == "auto"  # arg beats env
+        with pytest.raises(ConfigurationError, match="REPRO_COMM"):
+            resolve_transport("bogus")
+
+    def test_capabilities_and_can_handle(self):
+        host = [describe(np.zeros(4)), None]
+        dev = [describe(FakeDeviceArray(np.zeros(4)))]
+        naive, packed, device = (
+            make_transport(n) for n in ("naive", "packed", "device")
+        )
+        assert "object" in naive.capabilities()
+        assert "packed" in packed.capabilities()
+        assert "device" in device.capabilities()
+        assert naive.can_handle(host) and packed.can_handle(host)
+        assert not naive.can_handle(dev) and not packed.can_handle(dev)
+        assert device.can_handle(dev)
+        assert not device.can_handle(host)
+        assert not device.can_handle([None])  # nothing to place
+
+    def test_auto_order_prefers_specialized(self):
+        assert AUTO_ORDER == ("device", "packed", "naive")
+
+    def test_comm_transport_spec_and_dup_split(self):
+        def program(comm):
+            dup = comm.Dup()
+            split = comm.Split(color=comm.rank % 2, key=comm.rank)
+            return comm.transport, dup.transport, split.transport
+
+        for specs in spmd(2, program, transport="packed"):
+            assert specs == ("packed", "packed", "packed")
+
+    def test_env_var_selects_transport(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMM", "packed")
+
+        def program(comm):
+            trace = comm.trace
+            comm.Allgatherv(np.arange(3.0) + comm.rank)
+            return comm.transport
+
+        trace = mpi.CommTrace()
+        assert spmd(2, program, trace=trace) == ["packed", "packed"]
+        assert {e.transport for e in trace.events} == {"packed"}
+
+    def test_forced_transport_rejects_unmovable_payload(self):
+        def program(comm):
+            with pytest.raises(CommunicationError, match="REPRO_COMM=auto"):
+                comm.Allgatherv(np.arange(4.0))
+            return True
+
+        assert all(spmd(2, program, transport="device"))
+
+
+# -- parity ----------------------------------------------------------------
+
+
+def _collective_workload(comm):
+    """A mixed-shape, mixed-dtype tour of the three vector collectives."""
+    rng = np.random.default_rng(100 + comm.rank)
+    out = {}
+    # Allgatherv: different length per rank, strided input, 2-D input.
+    out["ag_flat"] = comm.Allgatherv(rng.standard_normal(3 + comm.rank))
+    out["ag_strided"] = comm.Allgatherv(rng.standard_normal(12)[::3])
+    out["ag_2d"] = comm.Allgatherv(
+        np.arange(6, dtype=np.float32).reshape(2, 3) + comm.rank
+    )
+    # Alltoallv: ragged counts, including zeros.
+    counts = [(comm.rank + dst) % 3 for dst in range(comm.size)]
+    send = rng.standard_normal(sum(counts))
+    out["a2av"] = comm.Alltoallv(send, counts)
+    # exchange_arrays: Nones, empties, int payloads.
+    per_dest = []
+    for d in range(comm.size):
+        if d == comm.rank:
+            per_dest.append(None)
+        elif (d + comm.rank) % 3 == 0:
+            per_dest.append(np.empty(0))
+        else:
+            per_dest.append(np.arange(4, dtype=np.int64) * (d + 1) + comm.rank)
+    out["xchg"] = comm.exchange_arrays(per_dest)
+    return out
+
+
+def _flatten(results):
+    flat = {}
+    for rank, out in enumerate(results):
+        for key, value in out.items():
+            arrs = value if isinstance(value, list) else [value]
+            for i, a in enumerate(arrs):
+                flat[(rank, key, i)] = a
+    return flat
+
+
+@pytest.mark.parametrize("nranks", [2, 4])
+@pytest.mark.parametrize("transport", ["packed", "auto"])
+class TestTransportParity:
+    def test_bitwise_identical_to_naive(self, nranks, transport):
+        ref = _flatten(spmd(nranks, _collective_workload, transport="naive"))
+        got = _flatten(spmd(nranks, _collective_workload, transport=transport))
+        assert ref.keys() == got.keys()
+        for key, expected in ref.items():
+            actual = got[key]
+            if expected is None:
+                assert actual is None, key
+                continue
+            assert actual.dtype == expected.dtype, key
+            assert actual.shape == expected.shape, key
+            assert np.array_equal(actual, expected), key
+
+    def test_trace_events_invariant(self, nranks, transport):
+        def signature(spec):
+            trace = mpi.CommTrace()
+            spmd(nranks, _collective_workload, trace=trace, transport=spec)
+            events = trace.events
+            kinds = Counter(e.kind for e in events)
+            nbytes = Counter()
+            for e in events:
+                nbytes[e.kind] += e.nbytes
+            return kinds, nbytes, {e.transport for e in events}
+
+        ref_kinds, ref_nbytes, ref_tags = signature("naive")
+        got_kinds, got_nbytes, got_tags = signature(transport)
+        assert got_kinds == ref_kinds
+        assert got_nbytes == ref_nbytes
+        # Only the transport tag may differ.
+        assert ref_tags == {"naive"}
+        assert got_tags == {"packed"}
+
+    def test_results_are_caller_owned(self, nranks, transport):
+        def program(comm):
+            first = comm.Allgatherv(np.full(4, float(comm.rank)))
+            for arr in first:
+                arr += 1000.0  # must not leak into anyone else's view
+            second = comm.Allgatherv(np.full(4, float(comm.rank)))
+            return [a.copy() for a in second]
+
+        for results in spmd(nranks, program, transport=transport):
+            for rank, arr in enumerate(results):
+                np.testing.assert_array_equal(arr, np.full(4, float(rank)))
+
+
+class TestPackedPool:
+    def test_steady_state_hits_and_deferred_release(self):
+        rounds = 6
+
+        def program(comm):
+            transport = comm._get_transport("packed")
+            local = np.arange(64.0) + comm.rank
+            for _ in range(rounds):
+                comm.Allgatherv(local)
+            # In-flight leases are bounded by the two-round release lag.
+            assert len(transport._pending) <= 2
+            return transport.pool.stats()
+
+        trace = mpi.CommTrace()
+        stats = spmd(2, program, trace=trace, transport="packed")
+        for s in stats:
+            # First two rounds miss; everything after reuses the lease.
+            assert s["misses"] <= 2
+            assert s["hits"] >= rounds - 2
+        snap = trace.metrics.snapshot()
+        assert snap["bufferpool.hits"] == sum(s["hits"] for s in stats)
+        assert snap["comm.packed_bytes"] == 2 * rounds * 64 * 8
+
+    def test_packed_bytes_counter_counts_payload(self):
+        trace = mpi.CommTrace()
+
+        def program(comm):
+            comm.exchange_arrays(
+                [None if d == comm.rank else np.arange(8.0)
+                 for d in range(comm.size)]
+            )
+            return True
+
+        spmd(2, program, trace=trace, transport="packed")
+        assert trace.metrics.snapshot()["comm.packed_bytes"] == 2 * 8 * 8
+
+
+# -- device-direct stub ----------------------------------------------------
+
+
+class TestDeviceDirect:
+    def test_allgatherv_stages_device_payloads(self):
+        def program(comm):
+            payload = FakeDeviceArray(np.arange(5.0) + 10 * comm.rank)
+            return comm.Allgatherv(payload)
+
+        trace = mpi.CommTrace()
+        results = spmd(2, program, trace=trace, transport="device")
+        for out in results:
+            np.testing.assert_array_equal(out[0], np.arange(5.0))
+            np.testing.assert_array_equal(out[1], np.arange(5.0) + 10)
+        snap = trace.metrics.snapshot()
+        assert snap["comm.device_staged_bytes"] == 2 * 5 * 8
+        assert {e.transport for e in trace.events} == {"device"}
+
+    def test_exchange_stages_device_payloads(self):
+        def program(comm):
+            per_dest = [
+                None if d == comm.rank
+                else FakeDeviceArray(np.full(3, float(comm.rank)))
+                for d in range(comm.size)
+            ]
+            return comm.exchange_arrays(per_dest)
+
+        for rank, out in enumerate(spmd(2, program, transport="device")):
+            peer = 1 - rank
+            np.testing.assert_array_equal(out[peer], np.full(3, float(peer)))
+
+    def test_rejects_host_arrays(self):
+        transport = DeviceDirectCommunicator()
+        with pytest.raises(CommunicationError, match="device-resident"):
+            transport._assert_device([np.arange(3.0)])
+
+    def test_rejects_device_array_without_get(self):
+        class NoGet:
+            __cuda_array_interface__ = {
+                "shape": (1,), "typestr": "<f8", "data": (0, False),
+                "strides": None, "version": 2,
+            }
+
+        transport = DeviceDirectCommunicator()
+        with pytest.raises(CommunicationError, match="get"):
+            transport._stage_host(NoGet(), mpi.CommTrace().metrics)
+
+    def test_auto_dispatches_device_payloads_to_device(self):
+        def program(comm):
+            host = comm.Allgatherv(np.arange(2.0))
+            dev = comm.Allgatherv(FakeDeviceArray(np.arange(2.0)))
+            return host, dev
+
+        trace = mpi.CommTrace()
+        spmd(2, program, trace=trace, transport="auto")
+        tags = [e.transport for e in trace.events if e.kind == "allgather"]
+        assert sorted(set(tags)) == ["device", "packed"]
