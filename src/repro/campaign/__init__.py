@@ -16,6 +16,11 @@ without every benchmark hand-rolling its own loop:
   checkpoint/resume of interrupted runs.
 * :mod:`repro.campaign.report` — aggregation into the figure/table
   payloads the benchmark harness emits.
+* :mod:`repro.campaign.protocol` — the typed coordinator/worker message
+  codec and its transports (length-prefixed TCP frames, simulated MPI).
+* :mod:`repro.campaign.service` — a long-running coordinator that
+  leases queued runs to pull-based workers and reclaims the runs of
+  workers that vanish (``rocketrig campaign --serve`` / ``--worker``).
 
 Typical use::
 
@@ -47,9 +52,27 @@ from repro.campaign.scheduler import (
     longest_job_first,
     makespan_estimate,
 )
+from repro.campaign.protocol import (
+    ChannelClosedError,
+    MpiEndpoint,
+    MpiWorkerChannel,
+    ProtocolError,
+    SocketEndpoint,
+    SocketWorkerChannel,
+)
+from repro.campaign.service import Coordinator, Worker, WorkerVanished
 from repro.campaign.store import CampaignStore, RunRecord, results_root
 
 __all__ = [
+    "ChannelClosedError",
+    "Coordinator",
+    "MpiEndpoint",
+    "MpiWorkerChannel",
+    "ProtocolError",
+    "SocketEndpoint",
+    "SocketWorkerChannel",
+    "Worker",
+    "WorkerVanished",
     "CampaignDeck",
     "RunSpec",
     "CampaignExecutor",

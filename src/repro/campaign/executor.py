@@ -902,6 +902,13 @@ class _StatusBoard:
     as ``status.json`` (written atomically in the campaign root), and —
     on a heartbeat interval — logs a one-line progress summary with a
     longest-job-first modeled ETA for the remainder.
+
+    The ``executor`` host is duck-typed, not nominally typed: the board
+    only touches ``store``, ``machine``, ``max_workers``,
+    ``worker_type``, ``metrics`` and ``log()``.  Anything providing
+    those can drive a board — the campaign service's
+    :class:`~repro.campaign.service.Coordinator` does exactly that (and
+    subclasses the board to add a ``service`` section to the snapshot).
     """
 
     _TERMINAL = frozenset(("completed", "failed", "skipped", "interrupted"))

@@ -1,0 +1,742 @@
+"""Coordinator/worker job protocol: typed messages, one codec, two wires.
+
+The campaign service (:mod:`repro.campaign.service`) detaches run
+execution from a single process tree: a long-running coordinator owns
+the run queue and pull-based workers fetch work over the small message
+protocol defined here.  Following the yoda/droid messenger shape — a
+tiny typed-message layer that "could easily be replaced with another
+transport" — the protocol is three layers, each independently testable:
+
+**Messages** — one frozen dataclass per message type:
+
+=================  =============  ==========================================
+wire type          dataclass      meaning
+=================  =============  ==========================================
+``job-request``    `JobRequest`   worker → coordinator: ready for work
+``new-job``        `NewJob`       coordinator → worker: a leased run spec
+``no-work-left``   `NoWorkLeft`   coordinator → worker: drain and exit
+``heartbeat``      `Heartbeat`    worker → coordinator: lease renewal
+``job-done``       `JobDone`      worker → coordinator: run completed
+``job-failed``     `JobFailed`    worker → coordinator: run raised, recorded
+=================  =============  ==========================================
+
+**Codec** — :func:`encode_message` / :func:`decode_message` map messages
+to/from canonical JSON bytes.  JSON, *never* pickle: frames arrive from
+a network socket, and unpickling untrusted bytes is arbitrary code
+execution.  Anything malformed — truncated JSON, an unknown type, a
+missing field, a non-JSON blob — raises the typed
+:class:`ProtocolError` instead of leaking decoder internals.
+
+**Framing / channels** — a transport-agnostic pair of interfaces:
+:class:`WorkerChannel` (worker side: ``send``/``recv``) and
+:class:`CoordinatorEndpoint` (coordinator side: ``poll``/``send`` keyed
+by connection id).  Two implementations ship day one:
+
+* **Sockets** (:class:`SocketEndpoint` / :class:`SocketWorkerChannel`) —
+  local TCP with length-prefixed frames (4-byte big-endian length +
+  codec bytes).  :class:`FrameDecoder` reassembles frames from an
+  arbitrarily chunked byte stream, so message boundaries are invariant
+  under any TCP segmentation.
+* **Simulated MPI** (:class:`MpiEndpoint` / :class:`MpiWorkerChannel`) —
+  the in-repo :mod:`repro.mpi` object transport (rank 0 = coordinator),
+  used for deterministic in-process protocol tests.  The same codec
+  bytes travel as the message payload, so both wires exercise one
+  serialization path.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import queue
+import socket
+import struct
+import threading
+import time
+from dataclasses import MISSING as _MISSING
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Iterator, Optional, Union
+
+from repro.util.errors import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ChannelClosedError",
+    "JobRequest",
+    "NewJob",
+    "NoWorkLeft",
+    "Heartbeat",
+    "JobDone",
+    "JobFailed",
+    "MESSAGE_TYPES",
+    "Message",
+    "encode_message",
+    "decode_message",
+    "frame",
+    "FrameDecoder",
+    "WorkerChannel",
+    "CoordinatorEndpoint",
+    "SocketWorkerChannel",
+    "SocketEndpoint",
+    "MpiWorkerChannel",
+    "MpiEndpoint",
+    "stream_frames",
+]
+
+logger = logging.getLogger("repro.campaign")
+
+#: Bumped on any incompatible message-schema change; both ends refuse
+#: frames from a different major version with a typed error instead of
+#: mis-parsing them.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's payload.  A length prefix beyond this is
+#: a corrupt or hostile stream, rejected before any allocation.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Simulated-MPI message tags (one per direction, mirroring the
+#: FROM_DROID / FROM_YODA split of the exemplar messenger).
+TAG_TO_COORDINATOR = 71
+TAG_FROM_COORDINATOR = 72
+
+
+class ProtocolError(ReproError):
+    """A frame or message violated the wire protocol (truncated frame,
+    oversized length prefix, non-JSON payload, unknown or malformed
+    message type, version mismatch)."""
+
+
+class ChannelClosedError(ProtocolError):
+    """The peer hung up: the underlying transport cannot deliver or
+    produce any further messages on this channel."""
+
+
+# -- messages -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """Worker → coordinator: ``worker`` is idle and wants a run."""
+
+    worker: str
+
+    TYPE = "job-request"
+
+
+@dataclass(frozen=True)
+class NewJob:
+    """Coordinator → worker: a leased run.
+
+    Carries everything a worker needs to rebuild and execute the run
+    with no shared state beyond the filesystem: the spec payload dict
+    (:meth:`repro.campaign.deck.RunSpec.payload`), the campaign name
+    and store root to open the :class:`~repro.campaign.store.CampaignStore`,
+    and the lease the coordinator granted — the worker must heartbeat
+    faster than ``lease_timeout`` or the run is reclaimed and requeued.
+    """
+
+    run_hash: str
+    payload: dict
+    campaign: str
+    store_root: str
+    lease_timeout: float
+    timeout: float = 0.0
+    collective_timeout: float = 0.0
+
+    TYPE = "new-job"
+
+
+@dataclass(frozen=True)
+class NoWorkLeft:
+    """Coordinator → worker: the queue is drained; exit cleanly."""
+
+    reason: str = "queue drained"
+
+    TYPE = "no-work-left"
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Worker → coordinator: still executing ``run_hash``; renew the lease."""
+
+    worker: str
+    run_hash: str
+
+    TYPE = "heartbeat"
+
+
+@dataclass(frozen=True)
+class JobDone:
+    """Worker → coordinator: the run completed and its store record is
+    already written (the worker records terminally before reporting, so
+    a lost ``job-done`` can never lose a result)."""
+
+    worker: str
+    run_hash: str
+    elapsed: float = 0.0
+    resumed_from_step: int = 0
+
+    TYPE = "job-done"
+
+
+@dataclass(frozen=True)
+class JobFailed:
+    """Worker → coordinator: the run raised; the failure is recorded in
+    the store and ``error`` carries the final traceback line."""
+
+    worker: str
+    run_hash: str
+    error: str = ""
+    elapsed: float = 0.0
+
+    TYPE = "job-failed"
+
+
+Message = Union[JobRequest, NewJob, NoWorkLeft, Heartbeat, JobDone, JobFailed]
+
+#: Wire-type string → dataclass, the codec's single dispatch table.
+MESSAGE_TYPES: dict[str, type] = {
+    cls.TYPE: cls
+    for cls in (JobRequest, NewJob, NoWorkLeft, Heartbeat, JobDone, JobFailed)
+}
+
+
+# -- codec --------------------------------------------------------------------
+
+#: Annotation string → runtime check for the codec's field validation
+#: (annotations are strings under ``from __future__ import annotations``).
+_FIELD_TYPES: dict[str, Any] = {
+    "str": str,
+    "dict": dict,
+    "float": (int, float),
+    "int": int,
+}
+
+
+def encode_message(msg: Message) -> bytes:
+    """Canonical JSON bytes for one message (sorted keys, UTF-8)."""
+    cls = type(msg)
+    wire_type = getattr(cls, "TYPE", None)
+    if wire_type not in MESSAGE_TYPES:
+        raise ProtocolError(f"not a protocol message: {msg!r}")
+    doc = {"v": PROTOCOL_VERSION, "type": wire_type, **asdict(msg)}
+    return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse codec bytes back into a typed message.
+
+    Every malformed input — non-UTF-8, non-JSON, a JSON scalar, a
+    version or type mismatch, missing fields, fields of the wrong shape
+    — raises :class:`ProtocolError`.  Unknown *extra* keys are ignored
+    (forward compatibility within one major version).  No byte of the
+    input is ever interpreted as a pickle.
+    """
+    try:
+        doc = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            f"frame must decode to a JSON object, got {type(doc).__name__}"
+        )
+    version = doc.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: got {version!r}, "
+            f"speaking {PROTOCOL_VERSION}"
+        )
+    wire_type = doc.get("type")
+    cls = MESSAGE_TYPES.get(wire_type)
+    if cls is None:
+        raise ProtocolError(f"unknown message type {wire_type!r}")
+    kwargs = {}
+    for field in fields(cls):
+        if field.name in doc:
+            value = doc[field.name]
+            expected = _FIELD_TYPES.get(field.type)
+            if expected is not None and not isinstance(value, expected):
+                raise ProtocolError(
+                    f"{wire_type} field {field.name!r} must be "
+                    f"{field.type}, got {type(value).__name__}"
+                )
+            if isinstance(value, bool) and field.type in ("float", "int"):
+                raise ProtocolError(
+                    f"{wire_type} field {field.name!r} must be "
+                    f"{field.type}, got bool"
+                )
+            kwargs[field.name] = value
+        elif (
+            field.default is not _MISSING
+            or field.default_factory is not _MISSING  # type: ignore[misc]
+        ):
+            continue
+        else:
+            raise ProtocolError(
+                f"{wire_type} message missing required field {field.name!r}"
+            )
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed {wire_type} message: {exc}") from None
+
+
+# -- framing ------------------------------------------------------------------
+
+_LEN = struct.Struct(">I")
+
+
+def frame(data: bytes) -> bytes:
+    """Length-prefix one codec payload for a byte-stream transport."""
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _LEN.pack(len(data)) + data
+
+
+class FrameDecoder:
+    """Incremental length-prefixed frame reassembly.
+
+    Feed arbitrarily chunked bytes; complete frames come back in order.
+    The decode is invariant under chunking — any split of the same byte
+    stream yields the same frame sequence — which is what makes TCP
+    segmentation invisible to the protocol layer.  A length prefix
+    larger than :data:`MAX_FRAME_BYTES` raises immediately;
+    :meth:`finish` raises if the stream ended mid-frame (a truncated
+    stream is an error, not a silent drop).
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, chunk: bytes) -> list[bytes]:
+        """Absorb ``chunk``; return every frame it completed."""
+        self._buf.extend(chunk)
+        frames: list[bytes] = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                return frames
+            (length,) = _LEN.unpack_from(self._buf)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame length prefix {length} exceeds MAX_FRAME_BYTES "
+                    f"— corrupt or hostile stream"
+                )
+            if len(self._buf) < _LEN.size + length:
+                return frames
+            frames.append(bytes(self._buf[_LEN.size:_LEN.size + length]))
+            del self._buf[:_LEN.size + length]
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buf)
+
+    def finish(self) -> None:
+        """Assert the stream ended on a frame boundary."""
+        if self._buf:
+            raise ProtocolError(
+                f"stream truncated mid-frame ({len(self._buf)} bytes of an "
+                f"incomplete frame)"
+            )
+
+
+# -- channel interfaces -------------------------------------------------------
+
+
+class WorkerChannel:
+    """Worker side of the wire: one pipe to the coordinator."""
+
+    def send(self, msg: Message) -> None:
+        """Deliver one message to the coordinator.
+
+        Raises :class:`ChannelClosedError` when the coordinator is gone.
+        """
+        raise NotImplementedError
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Message]:
+        """Next message from the coordinator, or ``None`` on timeout.
+
+        Raises :class:`ChannelClosedError` when the coordinator hung up.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class CoordinatorEndpoint:
+    """Coordinator side of the wire: many workers, one mailbox.
+
+    Connections are keyed by an opaque ``conn_id`` (the reply address);
+    worker *identity* travels in the messages themselves, so one worker
+    that reconnects shows up as a new ``conn_id`` with the same
+    ``worker`` field.
+    """
+
+    def poll(self, timeout: float) -> list[tuple[str, Message]]:
+        """Drain available ``(conn_id, message)`` pairs, waiting up to
+        ``timeout`` seconds for the first one."""
+        raise NotImplementedError
+
+    def send(self, conn_id: str, msg: Message) -> bool:
+        """Deliver to one connection; False if the peer is gone (a dead
+        worker's lease expiry is the recovery path, not this send)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+# -- socket transport ---------------------------------------------------------
+
+
+class SocketWorkerChannel(WorkerChannel):
+    """Worker side of the TCP transport (length-prefixed codec frames).
+
+    ``connect_timeout`` bounds the initial connection (with retries, so
+    a worker may be launched slightly before its coordinator binds).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.address = (host, int(port))
+        deadline = time.monotonic() + connect_timeout
+        last_error: Optional[Exception] = None
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    self.address, timeout=connect_timeout
+                )
+                break
+            except OSError as exc:
+                last_error = exc
+                if time.monotonic() >= deadline:
+                    raise ChannelClosedError(
+                        f"could not connect to coordinator at "
+                        f"{host}:{port} within {connect_timeout:g}s "
+                        f"({last_error})"
+                    ) from None
+                time.sleep(0.05)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._decoder = FrameDecoder()
+        self._inbox: list[Message] = []
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    def send(self, msg: Message) -> None:
+        data = frame(encode_message(msg))
+        with self._send_lock:
+            if self._closed:
+                raise ChannelClosedError("channel is closed")
+            try:
+                self._sock.sendall(data)
+            except OSError as exc:
+                raise ChannelClosedError(
+                    f"coordinator connection lost on send: {exc}"
+                ) from None
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Message]:
+        if self._inbox:
+            return self._inbox.pop(0)
+        if self._closed:
+            raise ChannelClosedError("channel is closed")
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            if deadline is None:
+                self._sock.settimeout(None)
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._sock.settimeout(remaining)
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                return None
+            except OSError as exc:
+                raise ChannelClosedError(
+                    f"coordinator connection lost: {exc}"
+                ) from None
+            if not chunk:
+                self._decoder.finish()  # mid-frame EOF is a ProtocolError
+                raise ChannelClosedError("coordinator closed the connection")
+            frames = self._decoder.feed(chunk)
+            if frames:
+                self._inbox.extend(decode_message(f) for f in frames[1:])
+                return decode_message(frames[0])
+
+    def close(self) -> None:
+        with self._send_lock:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close best-effort
+                pass
+
+
+class _SocketConnection:
+    """One accepted worker connection inside :class:`SocketEndpoint`."""
+
+    def __init__(self, conn_id: str, sock: socket.socket) -> None:
+        self.conn_id = conn_id
+        self.sock = sock
+        self.send_lock = threading.Lock()
+        self.alive = True
+
+
+class SocketEndpoint(CoordinatorEndpoint):
+    """Coordinator side of the TCP transport.
+
+    Binds a listening socket (``port=0`` picks an ephemeral port — read
+    it back from :attr:`address`), accepts connections on a background
+    thread, and runs one reader thread per connection that reassembles
+    frames and pushes decoded ``(conn_id, message)`` pairs onto a
+    single mailbox queue.  A reader that hits garbage logs and drops
+    the connection — one hostile or corrupt peer cannot take the
+    coordinator down — and a disconnect is *not* a requeue signal: the
+    lease clock is the only authority on reclaiming a silent worker's
+    work, so both wires share one recovery semantics.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._mailbox: "queue.Queue[tuple[str, Message]]" = queue.Queue()
+        self._conns: dict[str, _SocketConnection] = {}
+        self._conns_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="service-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                sock, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn_id = f"{peer[0]}:{peer[1]}"
+            conn = _SocketConnection(conn_id, sock)
+            with self._conns_lock:
+                self._conns[conn_id] = conn
+            threading.Thread(
+                target=self._read_loop,
+                args=(conn,),
+                name=f"service-read-{conn_id}",
+                daemon=True,
+            ).start()
+
+    def _read_loop(self, conn: _SocketConnection) -> None:
+        decoder = FrameDecoder()
+        try:
+            while not self._closed.is_set():
+                chunk = conn.sock.recv(65536)
+                if not chunk:
+                    decoder.finish()
+                    return
+                for data in decoder.feed(chunk):
+                    self._mailbox.put((conn.conn_id, decode_message(data)))
+        except ProtocolError as exc:
+            logger.warning(
+                "service: dropping connection %s on protocol violation: %s",
+                conn.conn_id, exc,
+            )
+        except OSError:
+            pass  # peer vanished; the lease clock owns recovery
+        finally:
+            self._drop(conn)
+
+    def _drop(self, conn: _SocketConnection) -> None:
+        conn.alive = False
+        with self._conns_lock:
+            self._conns.pop(conn.conn_id, None)
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover - close best-effort
+            pass
+
+    def poll(self, timeout: float) -> list[tuple[str, Message]]:
+        messages: list[tuple[str, Message]] = []
+        try:
+            messages.append(self._mailbox.get(timeout=max(0.0, timeout)))
+        except queue.Empty:
+            return messages
+        while True:
+            try:
+                messages.append(self._mailbox.get_nowait())
+            except queue.Empty:
+                return messages
+
+    def send(self, conn_id: str, msg: Message) -> bool:
+        with self._conns_lock:
+            conn = self._conns.get(conn_id)
+        if conn is None or not conn.alive:
+            return False
+        data = frame(encode_message(msg))
+        with conn.send_lock:
+            try:
+                conn.sock.sendall(data)
+            except OSError:
+                self._drop(conn)
+                return False
+        return True
+
+    def connections(self) -> list[str]:
+        """Currently-connected ``conn_id``\\ s (for status reporting)."""
+        with self._conns_lock:
+            return sorted(self._conns)
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close best-effort
+            pass
+        with self._conns_lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            self._drop(conn)
+
+
+# -- simulated-MPI transport --------------------------------------------------
+
+
+def _mpi_poll(comm, source, tag, deadline) -> Optional[tuple[int, bytes]]:
+    """Poll the simulated-MPI mailbox for one codec frame.
+
+    Returns ``(source_rank, payload)`` or ``None`` at the deadline.
+    Non-blocking probe + sleep, so a missing peer is a timeout the
+    caller classifies — never a :class:`DeadlockError` from the
+    simulator's collective watchdog.
+    """
+    from repro import mpi as _mpi
+
+    while True:
+        if comm.Iprobe(source, tag):
+            status = _mpi.Status()
+            payload = comm.recv(source=source, tag=tag, status=status)
+            return status.Get_source(), payload
+        if deadline is not None and time.monotonic() >= deadline:
+            return None
+        time.sleep(0.001)
+
+
+class MpiWorkerChannel(WorkerChannel):
+    """Worker side of the simulated-MPI transport (coordinator = rank 0).
+
+    Messages travel as codec bytes on the object path, so the very same
+    ``encode_message``/``decode_message`` pair is exercised as on the
+    socket wire — only the framing differs (the simulator preserves
+    message boundaries, so no length prefix is needed).
+    """
+
+    def __init__(self, comm, coordinator_rank: int = 0) -> None:
+        self._comm = comm
+        self._root = coordinator_rank
+        self._closed = False
+
+    def send(self, msg: Message) -> None:
+        if self._closed:
+            raise ChannelClosedError("channel is closed")
+        self._comm.send(encode_message(msg), self._root, TAG_TO_COORDINATOR)
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Message]:
+        if self._closed:
+            raise ChannelClosedError("channel is closed")
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        got = _mpi_poll(self._comm, self._root, TAG_FROM_COORDINATOR, deadline)
+        if got is None:
+            return None
+        _, payload = got
+        if not isinstance(payload, (bytes, bytearray)):
+            raise ProtocolError(
+                f"expected codec bytes on the wire, got "
+                f"{type(payload).__name__}"
+            )
+        return decode_message(bytes(payload))
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class MpiEndpoint(CoordinatorEndpoint):
+    """Coordinator side of the simulated-MPI transport.
+
+    ``conn_id`` is ``"rank<N>"`` — the sender's rank is the reply
+    address, exactly as in the yoda/droid messenger.
+    """
+
+    def __init__(self, comm) -> None:
+        from repro import mpi as _mpi
+
+        self._comm = comm
+        self._any_source = _mpi.ANY_SOURCE
+        self._closed = False
+
+    def poll(self, timeout: float) -> list[tuple[str, Message]]:
+        if self._closed:
+            return []
+        deadline = time.monotonic() + max(0.0, timeout)
+        messages: list[tuple[str, Message]] = []
+        got = _mpi_poll(
+            self._comm, self._any_source, TAG_TO_COORDINATOR, deadline
+        )
+        while got is not None:
+            src, payload = got
+            if not isinstance(payload, (bytes, bytearray)):
+                raise ProtocolError(
+                    f"expected codec bytes on the wire, got "
+                    f"{type(payload).__name__}"
+                )
+            messages.append((f"rank{src}", decode_message(bytes(payload))))
+            # Drain whatever else is already queued without waiting.
+            got = _mpi_poll(
+                self._comm, self._any_source, TAG_TO_COORDINATOR,
+                time.monotonic(),
+            )
+        return messages
+
+    def send(self, conn_id: str, msg: Message) -> bool:
+        if self._closed:
+            return False
+        if not conn_id.startswith("rank"):
+            raise ProtocolError(f"bad MPI conn_id {conn_id!r}")
+        self._comm.send(
+            encode_message(msg), int(conn_id[4:]), TAG_FROM_COORDINATOR
+        )
+        return True
+
+    def connections(self) -> list[str]:
+        """Every non-coordinator rank of the communicator."""
+        return [
+            f"rank{r}" for r in range(self._comm.size)
+            if r != 0
+        ]
+
+    def close(self) -> None:
+        self._closed = True
+
+
+def stream_frames(messages: "Iterator[Message]") -> bytes:
+    """Concatenate the framed encodings of ``messages`` into one byte
+    stream (test helper: the chunking-invariance property feeds this
+    through :class:`FrameDecoder` under arbitrary splits)."""
+    return b"".join(frame(encode_message(m)) for m in messages)

@@ -1,0 +1,786 @@
+"""Campaign service: a job-queue coordinator and pull-based workers.
+
+:class:`Coordinator` detaches campaign execution from a single process
+tree.  It owns the run queue (deduplicated against the store, ordered
+longest-job-first) and hands work to :class:`Worker`\\ s over the typed
+message protocol of :mod:`repro.campaign.protocol` — workers *pull*
+jobs (``job-request`` → ``new-job`` | ``no-work-left``), execute them
+through the ordinary serial :class:`~repro.campaign.executor.CampaignExecutor`
+path (so store records, telemetry artifacts and retry semantics are
+identical to every other execution backend), and report ``job-done`` /
+``job-failed``.  Because the store deduplicates by content hash, any
+number of submitters can point decks at one coordinator and share
+results.
+
+Lease state machine (per run)::
+
+                 job-request
+    queued ───────────────────▶ leased ──── job-done ───▶ completed
+      ▲    (claim marker with      │
+      │     owner + deadline)      ├────── job-failed ──▶ failed
+      │                            │
+      └──────── lease expiry ◀─────┘ (no heartbeat within
+         (requeued; max_requeues      lease_timeout)
+          exhausted ▶ failed)
+
+A lease is granted by appending a ``running`` claim marker to the store
+with ``owner`` (the worker's identity) and ``lease_expires`` stamped —
+the same marker the process-pool executor uses for crash attribution,
+so a coordinator restart can tell a live claimant (future deadline,
+heartbeats will renew it) from a dead one (lapsed deadline → requeue).
+Workers renew their lease with ``heartbeat`` messages; a worker that
+vanishes (SIGKILL, kernel fault, unplugged machine) simply stops
+heartbeating and its run is reclaimed and requeued when the lease
+lapses.  Worker disconnection is deliberately *not* a requeue signal:
+the lease clock is the only authority, so the socket transport and the
+in-process simulated-MPI transport recover identically.
+
+The coordinator streams live progress the same way the executor does —
+``status.json`` in the campaign root via (a subclass of) the executor's
+status board, extended with a ``service`` section (workers, leases,
+bound address) — and exposes ``campaign.service.*`` metrics: jobs
+leased, leases expired, workers seen, reconnects.  A ``service.json``
+discovery file in the campaign root carries the bound address and PID
+for workers and dashboards.
+"""
+
+from __future__ import annotations
+
+import collections
+import logging
+import os
+import socket as _socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.campaign.deck import RunSpec
+from repro.campaign.executor import (
+    DEFAULT_RUN_TIMEOUT,
+    CampaignExecutor,
+    RunOutcome,
+    _maybe_trip_kill_fuse,
+    _StatusBoard,
+)
+from repro.campaign.protocol import (
+    ChannelClosedError,
+    CoordinatorEndpoint,
+    Heartbeat,
+    JobDone,
+    JobFailed,
+    JobRequest,
+    Message,
+    NewJob,
+    NoWorkLeft,
+    ProtocolError,
+    WorkerChannel,
+)
+from repro.campaign.scheduler import longest_job_first
+from repro.campaign.store import CampaignStore
+from repro.machine.model import LASSEN, MachineSpec
+from repro.telemetry.artifacts import TELEMETRY_SCHEMA, atomic_write_json
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "Coordinator",
+    "Worker",
+    "WorkerVanished",
+    "Lease",
+    "DEFAULT_LEASE_TIMEOUT",
+    "service_info_path",
+]
+
+logger = logging.getLogger("repro.campaign")
+
+#: Default wall-clock lease on a granted job: a worker silent for this
+#: long is presumed dead and its run is reclaimed.  Heartbeats go out
+#: every ``lease_timeout / 3``, so three misses kill a lease.
+DEFAULT_LEASE_TIMEOUT = 60.0
+
+#: A run whose lease expired more than this many times is recorded
+#: failed instead of requeued forever (poison-job backstop).
+DEFAULT_MAX_REQUEUES = 3
+
+
+class WorkerVanished(Exception):
+    """Test hook: raised inside a worker's run callable to simulate the
+    worker dying silently mid-run (the in-process analogue of SIGKILL —
+    heartbeats stop, nothing terminal is recorded, nothing is sent)."""
+
+
+def service_info_path(store: CampaignStore) -> str:
+    """Path of the coordinator's ``service.json`` discovery file."""
+    return os.path.join(store.root, "service.json")
+
+
+@dataclass
+class Lease:
+    """One granted job: who holds it and when it lapses."""
+
+    spec: RunSpec
+    worker: str
+    conn_id: str
+    granted: float
+    deadline: float
+    requeues: int = 0
+
+
+class _ServiceStatusBoard(_StatusBoard):
+    """The executor status board plus a live ``service`` section."""
+
+    def snapshot(self) -> dict[str, Any]:
+        snap = super().snapshot()
+        snap["service"] = self._executor.service_snapshot()
+        return snap
+
+
+@dataclass
+class _WorkerInfo:
+    """Coordinator-side view of one worker identity."""
+
+    conn_id: str
+    first_seen: float
+    last_seen: float
+    jobs_done: int = 0
+    jobs_failed: int = 0
+    connections: int = 1
+
+
+class Coordinator:
+    """Owns a campaign's run queue and serves it to pull-based workers.
+
+    Duck-types the executor interface the status board expects
+    (``store`` / ``machine`` / ``max_workers`` / ``worker_type`` /
+    ``metrics`` / ``log``), so the live ``status.json`` document has
+    the exact shape external tools already poll — with ``worker_type``
+    reading ``"service"`` and ``max_workers`` tracking the number of
+    distinct workers seen.
+
+    ``journal=True`` appends every non-heartbeat message the
+    coordinator receives or sends to :attr:`journal` as
+    ``(direction, conn_id, message)`` tuples — the protocol-conformance
+    tests compare these across transports.
+    """
+
+    worker_type = "service"
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        specs: Sequence[RunSpec],
+        endpoint: CoordinatorEndpoint,
+        *,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        max_requeues: int = DEFAULT_MAX_REQUEUES,
+        run_timeout: float = DEFAULT_RUN_TIMEOUT,
+        collective_timeout: Optional[float] = None,
+        machine: MachineSpec = LASSEN,
+        status_interval: float = 0.0,
+        poll_interval: float = 0.05,
+        drain_grace: float = 5.0,
+        journal: bool = False,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.store = store
+        self.endpoint = endpoint
+        self.lease_timeout = float(lease_timeout)
+        self.max_requeues = int(max_requeues)
+        self.run_timeout = float(run_timeout)
+        self.collective_timeout = (
+            collective_timeout if collective_timeout is not None
+            else (run_timeout if run_timeout > 0 else DEFAULT_RUN_TIMEOUT)
+        )
+        self.machine = machine
+        self.status_interval = float(status_interval)
+        self.poll_interval = float(poll_interval)
+        self.drain_grace = float(drain_grace)
+        self.metrics = MetricsRegistry()
+        self.journal: Optional[list[tuple[str, str, Message]]] = (
+            [] if journal else None
+        )
+        self._log = log
+
+        self._state_lock = threading.Lock()
+        self._workers: dict[str, _WorkerInfo] = {}
+        self._leases: dict[str, Lease] = {}
+        self._requeue_counts: collections.Counter[str] = collections.Counter()
+        self._parked: collections.deque[tuple[str, str]] = collections.deque()
+        self._notified: set[str] = set()
+
+        # Dedup within the batch and against the store, mirroring
+        # CampaignExecutor.submit: completed hashes with a loadable
+        # result are store hits and never hit the queue.
+        unique: dict[str, RunSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.run_hash(), spec)
+        self._specs = unique
+        completed = store.completed_hashes()
+        to_run: list[RunSpec] = []
+        self._skipped: list[str] = []
+        for run_hash, spec in unique.items():
+            result = (
+                store.load_result(run_hash) if run_hash in completed else None
+            )
+            if result is not None and self._hit_is_valid(spec, result):
+                self._skipped.append(run_hash)
+                self.metrics.counter("campaign.store_hits").inc()
+            else:
+                to_run.append(spec)
+        # A previous coordinator's lapsed claims requeue transparently:
+        # they are simply still in to_run (no terminal record), and the
+        # fresh claim written at grant time supersedes the stale one.
+        stale = set(store.expired_claims()) & {s.run_hash() for s in to_run}
+        if stale:
+            self.log(
+                f"reclaiming {len(stale)} runs with lapsed leases from a "
+                f"previous coordinator"
+            )
+        self._queue: collections.deque[RunSpec] = collections.deque(
+            longest_job_first(to_run, self.machine)
+        )
+        self._pending: set[str] = {spec.run_hash() for spec in to_run}
+        self._board = _ServiceStatusBoard(self, unique)
+        for run_hash in self._skipped:
+            self._board.mark(run_hash, "skipped")
+        self._counts = {"completed": 0, "failed": 0, "requeued": 0}
+
+    # -- executor duck-typing (status board host) ---------------------------
+
+    @property
+    def max_workers(self) -> int:
+        with self._state_lock:
+            return max(1, len(self._workers))
+
+    def log(self, message: str) -> None:
+        line = f"[campaign {self.store.campaign}] {message}"
+        if self._log is not None:
+            self._log(line)
+        else:
+            logger.info(line)
+
+    def _hit_is_valid(self, spec: RunSpec, result: dict[str, Any]) -> bool:
+        if spec.mode != "model":
+            return True
+        return result.get("machine") in (None, self.machine.name)
+
+    # -- observability -------------------------------------------------------
+
+    def service_snapshot(self) -> dict[str, Any]:
+        """The ``service`` section of the status document."""
+        now = time.time()
+        with self._state_lock:
+            workers = {
+                name: {
+                    "conn": info.conn_id,
+                    "jobs_done": info.jobs_done,
+                    "jobs_failed": info.jobs_failed,
+                    "connections": info.connections,
+                    "idle_seconds": now - info.last_seen,
+                }
+                for name, info in self._workers.items()
+            }
+            leases = {
+                run_hash: {
+                    "owner": lease.worker,
+                    "expires_in": lease.deadline - now,
+                    "requeues": lease.requeues,
+                }
+                for run_hash, lease in self._leases.items()
+            }
+        address = getattr(self.endpoint, "address", None)
+        return {
+            "address": f"{address[0]}:{address[1]}" if address else None,
+            "lease_timeout": self.lease_timeout,
+            "workers": workers,
+            "leases": leases,
+            "queued": len(self._queue),
+        }
+
+    def _write_service_info(self, *, done: bool = False) -> None:
+        """Publish (atomically) the discovery file workers/tools poll."""
+        address = getattr(self.endpoint, "address", None)
+        info = {
+            "schema": TELEMETRY_SCHEMA,
+            "campaign": self.store.campaign,
+            "pid": os.getpid(),
+            "host": address[0] if address else None,
+            "port": address[1] if address else None,
+            "lease_timeout": self.lease_timeout,
+            "done": done,
+            "timestamp": time.time(),
+        }
+        try:
+            os.makedirs(self.store.root, exist_ok=True)
+            atomic_write_json(service_info_path(self.store), info)
+        except OSError:  # pragma: no cover - advisory, like status.json
+            pass
+
+    def _journal_add(self, direction: str, conn_id: str, msg: Message) -> None:
+        if self.journal is not None and not isinstance(msg, Heartbeat):
+            self.journal.append((direction, conn_id, msg))
+
+    # -- main loop -----------------------------------------------------------
+
+    def serve(self) -> dict[str, Any]:
+        """Serve the batch to workers until every run is terminal.
+
+        Returns a summary dict (completed / failed / skipped /
+        requeued counts plus the workers seen).  The campaign-level
+        ``status.json`` is streamed throughout, and a final drain
+        window hands ``no-work-left`` to every straggling worker so
+        both transports shut down cleanly.
+        """
+        self._write_service_info()
+        self._board.publish()
+        heartbeat = self._board.start_heartbeat(self.status_interval)
+        address = getattr(self.endpoint, "address", None)
+        self.log(
+            f"service: coordinating {len(self._pending)} runs "
+            f"({len(self._skipped)} store hits)"
+            + (f" on {address[0]}:{address[1]}" if address else "")
+        )
+        clean_exit = False
+        try:
+            while self._pending:
+                self._sweep_leases()
+                for conn_id, msg in self.endpoint.poll(self.poll_interval):
+                    self._handle(conn_id, msg)
+            clean_exit = True
+        finally:
+            try:
+                self._drain()
+            finally:
+                self._board.stop_heartbeat(heartbeat)
+                self._board.finalize(interrupted=not clean_exit)
+                self._write_service_info(done=True)
+                self.endpoint.close()
+        summary = {
+            "campaign": self.store.campaign,
+            "completed": self._counts["completed"],
+            "failed": self._counts["failed"],
+            "skipped": len(self._skipped),
+            "requeued": self._counts["requeued"],
+            "workers": sorted(self._workers),
+        }
+        self.log(
+            f"service: done — {summary['completed']} completed, "
+            f"{summary['failed']} failed, {summary['skipped']} store hits, "
+            f"{summary['requeued']} requeued, "
+            f"{len(summary['workers'])} workers"
+        )
+        return summary
+
+    def _drain(self) -> None:
+        """Tell every waiting/lingering worker there is no work left.
+
+        Parked requests are answered immediately; then the coordinator
+        lingers up to ``drain_grace`` answering late ``job-request``\\ s
+        (e.g. a worker that reported ``job-done`` and re-requested in
+        the same instant the queue drained) until every known
+        connection has been notified or dropped.
+        """
+        while self._parked:
+            conn_id, worker = self._parked.popleft()
+            self._send(conn_id, NoWorkLeft())
+            self._notified.add(conn_id)
+        deadline = time.monotonic() + self.drain_grace
+        connections = getattr(self.endpoint, "connections", lambda: [])
+        while time.monotonic() < deadline:
+            waiting = set(connections()) - self._notified
+            if not waiting:
+                break
+            for conn_id, msg in self.endpoint.poll(self.poll_interval):
+                self._journal_add("recv", conn_id, msg)
+                if isinstance(msg, JobRequest):
+                    self._touch_worker(msg.worker, conn_id)
+                    self._send(conn_id, NoWorkLeft())
+                    self._notified.add(conn_id)
+
+    def _send(self, conn_id: str, msg: Message) -> bool:
+        delivered = self.endpoint.send(conn_id, msg)
+        if delivered:
+            self._journal_add("send", conn_id, msg)
+        return delivered
+
+    # -- message handling ----------------------------------------------------
+
+    def _handle(self, conn_id: str, msg: Message) -> None:
+        self._journal_add("recv", conn_id, msg)
+        if isinstance(msg, JobRequest):
+            self._touch_worker(msg.worker, conn_id)
+            self._handle_job_request(conn_id, msg.worker)
+        elif isinstance(msg, Heartbeat):
+            self._touch_worker(msg.worker, conn_id)
+            self._handle_heartbeat(msg)
+        elif isinstance(msg, JobDone):
+            self._touch_worker(msg.worker, conn_id)
+            self._handle_done(msg)
+        elif isinstance(msg, JobFailed):
+            self._touch_worker(msg.worker, conn_id)
+            self._handle_failed(msg)
+        else:
+            self.metrics.counter("campaign.service.unexpected_messages").inc()
+            self.log(f"service: ignoring unexpected {msg.TYPE} from {conn_id}")
+
+    def _touch_worker(self, worker: str, conn_id: str) -> None:
+        now = time.time()
+        with self._state_lock:
+            info = self._workers.get(worker)
+            if info is None:
+                self._workers[worker] = _WorkerInfo(
+                    conn_id=conn_id, first_seen=now, last_seen=now
+                )
+                self.metrics.counter("campaign.service.workers_seen").inc()
+                self.log(f"service: worker {worker} connected ({conn_id})")
+            else:
+                if info.conn_id != conn_id:
+                    info.conn_id = conn_id
+                    info.connections += 1
+                    self.metrics.counter("campaign.service.reconnects").inc()
+                    self.log(
+                        f"service: worker {worker} reconnected ({conn_id})"
+                    )
+                info.last_seen = now
+
+    def _handle_job_request(self, conn_id: str, worker: str) -> None:
+        if self._queue:
+            self._grant(conn_id, worker)
+        elif self._pending:
+            # Work is still in flight: hold the request so an expired
+            # lease can be regranted to this worker the moment it is
+            # reclaimed (replying no-work-left here would strand the
+            # reclaimed run with no workers to run it).
+            self._parked.append((conn_id, worker))
+        else:
+            self._send(conn_id, NoWorkLeft())
+            self._notified.add(conn_id)
+
+    def _grant(self, conn_id: str, worker: str) -> None:
+        spec = self._queue.popleft()
+        run_hash = spec.run_hash()
+        now = time.time()
+        deadline = now + self.lease_timeout
+        # The claim marker makes the lease durable: a coordinator that
+        # restarts sees owner + lease_expires on the trailing running
+        # record and can classify the claimant without guessing.
+        self.store.record_running(spec, owner=worker, lease_expires=deadline)
+        job = NewJob(
+            run_hash=run_hash,
+            payload=spec.payload(),
+            campaign=self.store.campaign,
+            store_root=self.store.base_root,
+            lease_timeout=self.lease_timeout,
+            timeout=self.run_timeout,
+            collective_timeout=self.collective_timeout,
+        )
+        if not self._send(conn_id, job):
+            # The connection died between request and grant; put the
+            # run back — its stale claim is superseded at the regrant.
+            self._queue.appendleft(spec)
+            return
+        with self._state_lock:
+            self._leases[run_hash] = Lease(
+                spec=spec,
+                worker=worker,
+                conn_id=conn_id,
+                granted=now,
+                deadline=deadline,
+                requeues=self._requeue_counts[run_hash],
+            )
+        self.metrics.counter("campaign.service.jobs_leased").inc()
+        self._board.mark(run_hash, "running")
+        self.log(
+            f"service: leased {run_hash} to {worker} "
+            f"(deadline +{self.lease_timeout:g}s, {spec.describe()})"
+        )
+
+    def _handle_heartbeat(self, msg: Heartbeat) -> None:
+        with self._state_lock:
+            lease = self._leases.get(msg.run_hash)
+            if lease is not None and lease.worker == msg.worker:
+                lease.deadline = time.time() + self.lease_timeout
+                renewed = True
+            else:
+                renewed = False
+        self.metrics.counter("campaign.service.heartbeats").inc()
+        if not renewed:
+            self.metrics.counter("campaign.service.stale_messages").inc()
+
+    def _release(self, msg: Any) -> Optional[Lease]:
+        """Drop the lease a terminal report resolves (stale reports —
+        e.g. from a worker whose lease already expired — return None
+        and are counted, not trusted)."""
+        with self._state_lock:
+            lease = self._leases.get(msg.run_hash)
+            if lease is not None and lease.worker == msg.worker:
+                return self._leases.pop(msg.run_hash)
+        self.metrics.counter("campaign.service.stale_messages").inc()
+        return None
+
+    def _handle_done(self, msg: JobDone) -> None:
+        lease = self._release(msg)
+        if lease is None and msg.run_hash not in self._pending:
+            return
+        self._pending.discard(msg.run_hash)
+        self._counts["completed"] += 1
+        self.metrics.counter("campaign.runs_completed").inc()
+        self.metrics.histogram("campaign.run_elapsed").observe(msg.elapsed)
+        with self._state_lock:
+            info = self._workers.get(msg.worker)
+            if info is not None:
+                info.jobs_done += 1
+        self._board.mark(msg.run_hash, "completed")
+        self._board.publish()
+        self.log(
+            f"service: {msg.run_hash} completed by {msg.worker} "
+            f"in {msg.elapsed:.2f}s"
+        )
+
+    def _handle_failed(self, msg: JobFailed) -> None:
+        lease = self._release(msg)
+        if lease is None and msg.run_hash not in self._pending:
+            return
+        self._pending.discard(msg.run_hash)
+        self._counts["failed"] += 1
+        self.metrics.counter("campaign.runs_failed").inc()
+        with self._state_lock:
+            info = self._workers.get(msg.worker)
+            if info is not None:
+                info.jobs_failed += 1
+        self._board.mark(msg.run_hash, "failed")
+        self._board.publish()
+        self.log(
+            f"service: {msg.run_hash} FAILED on {msg.worker}: "
+            f"{msg.error.splitlines()[-1] if msg.error else 'unknown'}"
+        )
+
+    # -- lease expiry ---------------------------------------------------------
+
+    def _sweep_leases(self) -> None:
+        """Reclaim and requeue every lease whose deadline lapsed."""
+        now = time.time()
+        with self._state_lock:
+            expired = [
+                lease for lease in self._leases.values()
+                if lease.deadline <= now
+            ]
+            for lease in expired:
+                del self._leases[lease.spec.run_hash()]
+        for lease in expired:
+            run_hash = lease.spec.run_hash()
+            self.metrics.counter("campaign.service.leases_expired").inc()
+            self._requeue_counts[run_hash] += 1
+            count = self._requeue_counts[run_hash]
+            if count > self.max_requeues:
+                error = (
+                    f"lease expired {count} times (workers keep vanishing "
+                    f"mid-run) — giving up on this run"
+                )
+                self.store.record_failed(lease.spec, error)
+                self._pending.discard(run_hash)
+                self._counts["failed"] += 1
+                self.metrics.counter("campaign.runs_failed").inc()
+                self._board.mark(run_hash, "failed")
+                self.log(f"service: {run_hash} FAILED: {error}")
+                continue
+            self._counts["requeued"] += 1
+            self._queue.appendleft(lease.spec)
+            self._board.mark(run_hash, "queued")
+            self.log(
+                f"service: lease on {run_hash} (worker {lease.worker}) "
+                f"expired after {self.lease_timeout:g}s — requeued "
+                f"(attempt {count + 1})"
+            )
+        if expired:
+            self._board.publish()
+            # Regrant immediately to parked workers.
+        while self._queue and self._parked:
+            conn_id, worker = self._parked.popleft()
+            self._grant(conn_id, worker)
+
+
+class Worker:
+    """Pull-based campaign worker: request, execute, report, repeat.
+
+    Runs each :class:`NewJob` through a serial
+    :class:`~repro.campaign.executor.CampaignExecutor` against the
+    store named in the message, so terminal records, checkpoints and
+    ``telemetry.json`` artifacts are byte-identical to every other
+    execution path.  The worker records terminally *before* reporting
+    ``job-done``/``job-failed`` — a lost report can cost a duplicate
+    execution (the lease expires, the run requeues, the store's
+    last-record-wins semantics absorb it) but never a lost result.
+
+    A background thread heartbeats every ``lease_timeout / 3`` while a
+    job is executing.  A coordinator that disappears mid-conversation
+    (closed socket, aborted simulation) ends the loop cleanly: the
+    in-flight job is finished and recorded first, so no store state is
+    ever corrupted by a coordinator crash.
+
+    ``run_one`` is a test hook replacing the executor call
+    (``spec -> RunOutcome``); raising :class:`WorkerVanished` from it
+    simulates a silent worker death (stop heartbeating, send nothing).
+    """
+
+    def __init__(
+        self,
+        channel: WorkerChannel,
+        *,
+        worker_id: Optional[str] = None,
+        results_dir: Optional[str] = None,
+        idle_timeout: float = 120.0,
+        telemetry: bool = True,
+        run_one: Optional[Callable[[RunSpec], RunOutcome]] = None,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.channel = channel
+        self.worker_id = worker_id or (
+            f"{_socket.gethostname()}-{os.getpid()}"
+        )
+        #: Overrides the coordinator-supplied store root (single-host
+        #: testing with divergent REPRO_RESULTS_DIR views).
+        self.results_dir = results_dir
+        self.idle_timeout = float(idle_timeout)
+        self.telemetry = bool(telemetry)
+        self._run_one = run_one
+        self._log = log
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+
+    def log(self, message: str) -> None:
+        line = f"[worker {self.worker_id}] {message}"
+        if self._log is not None:
+            self._log(line)
+        else:
+            logger.info(line)
+
+    # -- job execution -------------------------------------------------------
+
+    def _executor_for(self, job: NewJob) -> CampaignExecutor:
+        store = CampaignStore(
+            job.campaign, root=self.results_dir or job.store_root
+        )
+        return CampaignExecutor(
+            store,
+            max_workers=1,
+            worker_type="serial",
+            timeout=job.timeout or DEFAULT_RUN_TIMEOUT,
+            collective_timeout=job.collective_timeout or None,
+            telemetry=self.telemetry,
+            log=lambda line: self.log(line),
+        )
+
+    def _start_heartbeat(self, run_hash: str, interval: float) -> threading.Event:
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                try:
+                    self.channel.send(
+                        Heartbeat(worker=self.worker_id, run_hash=run_hash)
+                    )
+                except (ChannelClosedError, ProtocolError):
+                    return  # coordinator gone; the main loop will notice
+
+        threading.Thread(
+            target=beat, name=f"heartbeat-{run_hash[:8]}", daemon=True
+        ).start()
+        return stop
+
+    def _execute(self, job: NewJob) -> Optional[Message]:
+        """Run one job; returns the report message (None = vanished)."""
+        spec = RunSpec.from_payload(job.payload, campaign=job.campaign)
+        run_hash = spec.run_hash()
+        if run_hash != job.run_hash:
+            # A coordinator whose hash does not match the payload it
+            # shipped is confused; refuse rather than record under the
+            # wrong content address.
+            return JobFailed(
+                worker=self.worker_id,
+                run_hash=job.run_hash,
+                error=(
+                    f"payload hash mismatch: coordinator said "
+                    f"{job.run_hash}, payload hashes to {run_hash}"
+                ),
+            )
+        # Fault injection (tests): SIGKILL ourselves mid-claim, exactly
+        # like the process-pool crash tests.
+        _maybe_trip_kill_fuse(run_hash)
+        interval = max(0.05, job.lease_timeout / 3.0)
+        stop = self._start_heartbeat(run_hash, interval)
+        try:
+            if self._run_one is not None:
+                outcome = self._run_one(spec)
+            else:
+                outcome = self._executor_for(job).run_one(spec)
+        finally:
+            stop.set()
+        if outcome.status == "completed":
+            self.jobs_completed += 1
+            return JobDone(
+                worker=self.worker_id,
+                run_hash=run_hash,
+                elapsed=outcome.elapsed,
+                resumed_from_step=outcome.resumed_from_step,
+            )
+        self.jobs_failed += 1
+        error = outcome.error or ""
+        return JobFailed(
+            worker=self.worker_id,
+            run_hash=run_hash,
+            error=error.strip().splitlines()[-1] if error.strip() else "",
+            elapsed=outcome.elapsed,
+        )
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> dict[str, Any]:
+        """Pull and execute jobs until ``no-work-left`` (or the
+        coordinator disappears); returns a summary dict."""
+        reason = "no-work-left"
+        try:
+            while True:
+                self.channel.send(JobRequest(worker=self.worker_id))
+                msg = self.channel.recv(self.idle_timeout)
+                if msg is None:
+                    reason = (
+                        f"no reply within {self.idle_timeout:g}s — "
+                        f"presuming the coordinator is gone"
+                    )
+                    break
+                if isinstance(msg, NoWorkLeft):
+                    break
+                if not isinstance(msg, NewJob):
+                    self.log(f"ignoring unexpected {msg.TYPE} message")
+                    continue
+                try:
+                    report = self._execute(msg)
+                except WorkerVanished:
+                    # Simulated hard death: stop silently, exactly as a
+                    # SIGKILLed process would — no report, no record.
+                    return {
+                        "worker": self.worker_id,
+                        "completed": self.jobs_completed,
+                        "failed": self.jobs_failed,
+                        "reason": "vanished",
+                    }
+                if report is not None:
+                    self.channel.send(report)
+        except (ChannelClosedError, ProtocolError) as exc:
+            # The coordinator hung up.  Any in-flight job was already
+            # recorded terminally before we tried to report it, so
+            # exiting here leaves the store fully consistent.
+            reason = f"coordinator connection lost ({exc})"
+        finally:
+            self.channel.close()
+        self.log(
+            f"exiting: {reason} ({self.jobs_completed} completed, "
+            f"{self.jobs_failed} failed)"
+        )
+        return {
+            "worker": self.worker_id,
+            "completed": self.jobs_completed,
+            "failed": self.jobs_failed,
+            "reason": reason,
+        }

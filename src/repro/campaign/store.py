@@ -79,7 +79,17 @@ def results_root() -> str:
 
 @dataclass
 class RunRecord:
-    """One line of the campaign index."""
+    """One line of the campaign index.
+
+    ``owner`` and ``lease_expires`` only carry meaning on ``running``
+    claim markers: who claimed the run (a worker/service identity) and
+    the wall-clock time its lease lapses.  Records written before these
+    fields existed parse with the defaults (``None`` / ``0.0``), which
+    reads as "claimant unknown, lease already lapsed" — exactly the
+    conservative interpretation lease reclaim wants.  Readers from
+    before the fields existed ignore the extra keys, so old and new
+    writers can share one index file.
+    """
 
     run_hash: str
     status: str
@@ -89,6 +99,8 @@ class RunRecord:
     elapsed: float = 0.0
     timestamp: float = 0.0
     resumed_from_step: int = 0
+    owner: Optional[str] = None
+    lease_expires: float = 0.0
 
     def to_json(self) -> str:
         return json.dumps(
@@ -101,6 +113,8 @@ class RunRecord:
                 "elapsed": self.elapsed,
                 "timestamp": self.timestamp,
                 "resumed_from_step": self.resumed_from_step,
+                "owner": self.owner,
+                "lease_expires": self.lease_expires,
             },
             sort_keys=True,
             default=str,
@@ -121,6 +135,8 @@ _RECORD_DEFAULTS = {
     "elapsed": 0.0,
     "timestamp": 0.0,
     "resumed_from_step": 0,
+    "owner": None,
+    "lease_expires": 0.0,
 }
 
 
@@ -337,18 +353,59 @@ class CampaignStore:
         atomic_write_json(self.status_path, status)
         return self.status_path
 
-    def record_running(self, spec: RunSpec) -> RunRecord:
+    def record_running(
+        self,
+        spec: RunSpec,
+        *,
+        owner: Optional[str] = None,
+        lease_expires: float = 0.0,
+    ) -> RunRecord:
         """Claim marker: a worker is about to execute this run.
 
         A trailing ``running`` record (no terminal record after it)
         identifies the runs that were in flight when a worker process
-        died — the executor uses it to attribute pool crashes.
+        died — the executor uses it to attribute pool crashes, and the
+        campaign service stamps ``owner`` (the claiming worker's
+        identity) and ``lease_expires`` (wall-clock lease deadline) so
+        a restarted coordinator can distinguish a live claimant from a
+        dead one (:meth:`claimed_runs` / :meth:`expired_claims`).
         """
         record = RunRecord(
-            run_hash=spec.run_hash(), status=RUNNING, spec=spec.payload()
+            run_hash=spec.run_hash(),
+            status=RUNNING,
+            spec=spec.payload(),
+            owner=owner,
+            lease_expires=lease_expires,
         )
         self.append(record)
         return record
+
+    def claimed_runs(self) -> dict[str, RunRecord]:
+        """Run hashes whose *latest* record is a ``running`` claim.
+
+        These are the in-flight (or abandoned) runs: a worker claimed
+        them and has not yet written a terminal record.
+        """
+        return {
+            run_hash: record
+            for run_hash, record in self.latest_records().items()
+            if record.status == RUNNING
+        }
+
+    def expired_claims(self, now: Optional[float] = None) -> dict[str, RunRecord]:
+        """Trailing claims whose lease has lapsed as of ``now``.
+
+        Old-format claims (written before leases existed) carry
+        ``lease_expires == 0.0`` and therefore always report as
+        expired — the safe reading, since nothing can be renewing them.
+        """
+        if now is None:
+            now = time.time()
+        return {
+            run_hash: record
+            for run_hash, record in self.claimed_runs().items()
+            if record.lease_expires <= now
+        }
 
     def record_completed(
         self,

@@ -29,6 +29,15 @@ lines), and interrupted runs resume from their checkpoint::
     rocketrig campaign decks/fig9.json --worker-type process
     rocketrig campaign decks/fig9.json --report config.fft_config ranks \\
               result.step_time
+
+Service mode detaches the campaign from a single process tree: a
+coordinator (``--serve``) owns the queue and leases runs to pull-based
+workers (``--worker``) over local TCP, reclaiming and requeueing the
+runs of any worker that vanishes mid-job (see :mod:`repro.campaign.service`
+and ``docs/service.md``)::
+
+    rocketrig campaign decks/fig9.json --serve --port 7777
+    rocketrig campaign --worker --connect 127.0.0.1:7777
 """
 
 from __future__ import annotations
@@ -53,7 +62,13 @@ from repro.fft import FftConfig
 from repro.machine import LASSEN, replay_trace
 from repro.util.errors import ReproError
 
-__all__ = ["main", "build_parser", "run_from_args", "run_campaign_from_args"]
+__all__ = [
+    "main",
+    "build_parser",
+    "run_from_args",
+    "run_campaign_from_args",
+    "run_service_from_args",
+]
 
 #: Initial-condition kinds, shared by the parser choices and the help
 #: epilog so the two cannot drift apart.
@@ -79,6 +94,9 @@ examples:
   rocketrig campaign examples/decks/smoke.json --workers 4
   rocketrig campaign examples/decks/smoke.json --worker-type process \\
             --timeout 3600 --collective-timeout 600
+  rocketrig campaign examples/decks/service_smoke.json --serve --port 7777 \\
+            --lease-timeout 120
+  rocketrig campaign --worker --connect 127.0.0.1:7777 --worker-id drone-1
   rocketrig batch examples/decks/batch_sweep.json
 
 initial conditions (--ic): {", ".join(IC_CHOICES)} (default multi_mode)
@@ -200,7 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "store-level dedup and checkpoint/resume, and print a "
                     "summary report.",
     )
-    camp.add_argument("deck", help="path to the JSON campaign deck")
+    camp.add_argument("deck", nargs="?", default=None,
+                      help="path to the JSON campaign deck (required except "
+                           "in --worker mode)")
     camp.add_argument("--workers", "-w", type=int, default=4,
                       help="concurrent runs (default 4)")
     camp.add_argument("--worker-type", choices=("thread", "process", "serial"),
@@ -240,6 +260,45 @@ def build_parser() -> argparse.ArgumentParser:
                            "progress summary is logged and status.json is "
                            "rewritten atomically in the campaign root every "
                            "N seconds (0 disables the heartbeat; default 5)")
+
+    service = camp.add_argument_group(
+        "service mode (coordinator/worker job protocol)")
+    service.add_argument("--serve", action="store_true",
+                         help="coordinate instead of executing: own the "
+                              "deck's run queue, lease runs to pull-based "
+                              "--worker processes over local TCP, and "
+                              "reclaim/requeue the runs of workers that "
+                              "vanish mid-job (lease expiry)")
+    service.add_argument("--worker", action="store_true",
+                         help="execute instead of coordinating: connect to "
+                              "a --serve coordinator (see --connect), pull "
+                              "jobs until none are left, and record results "
+                              "into the coordinator's store (no deck "
+                              "argument)")
+    service.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                         help="--serve: interface to bind "
+                              "(default 127.0.0.1)")
+    service.add_argument("--port", type=int, default=0,
+                         help="--serve: TCP port to bind (default 0 = "
+                              "ephemeral; the bound address is printed and "
+                              "written to the campaign's service.json)")
+    service.add_argument("--connect", default=None, metavar="HOST:PORT",
+                         help="--worker: coordinator address, e.g. "
+                              "127.0.0.1:7777 (see the coordinator's "
+                              "startup line or service.json)")
+    service.add_argument("--lease-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="--serve: wall-clock lease on each granted "
+                              "run; a worker silent for this long (3 missed "
+                              "heartbeats) is presumed dead and its run is "
+                              "requeued (default 60)")
+    service.add_argument("--worker-id", default=None,
+                         help="--worker: stable identity reported to the "
+                              "coordinator (default host-pid)")
+    service.add_argument("--idle-timeout", type=float, default=120.0,
+                         metavar="SECONDS",
+                         help="--worker: exit after waiting this long for a "
+                              "coordinator reply (default 120)")
 
     batch = sub.add_parser(
         "batch",
@@ -370,8 +429,112 @@ def run_from_args(args: argparse.Namespace) -> dict:
     return diag
 
 
+def run_service_from_args(args: argparse.Namespace) -> dict:
+    """Execute ``rocketrig campaign --serve`` / ``--worker``.
+
+    ``--serve`` expands the deck, binds a local TCP endpoint, prints
+    (and publishes in ``service.json``) the address, and coordinates
+    until every run is terminal.  ``--worker`` connects to a
+    coordinator and pulls jobs until ``no-work-left``.  Both return a
+    summary dict carrying ``batch_failed`` for the exit code.
+    """
+    from repro.campaign import (
+        CampaignDeck,
+        CampaignStore,
+        Coordinator,
+        SocketEndpoint,
+        SocketWorkerChannel,
+        Worker,
+        configure_logging,
+    )
+    from repro.campaign.service import DEFAULT_LEASE_TIMEOUT
+
+    configure_logging(
+        getattr(args, "verbose", 0) - getattr(args, "quiet", 0)
+    )
+    if args.serve and args.worker:
+        raise SystemExit(
+            "rocketrig campaign: --serve and --worker are mutually "
+            "exclusive (one process coordinates, others execute)"
+        )
+
+    if args.worker:
+        if args.deck is not None:
+            raise SystemExit(
+                "rocketrig campaign: --worker takes no deck (the "
+                "coordinator owns the queue); drop the positional "
+                "argument"
+            )
+        if not args.connect:
+            raise SystemExit(
+                "rocketrig campaign: --worker needs --connect HOST:PORT "
+                "(see the coordinator's startup line or its service.json)"
+            )
+        host, sep, port = args.connect.rpartition(":")
+        if not sep or not port.isdigit():
+            raise SystemExit(
+                f"rocketrig campaign: bad --connect {args.connect!r}; "
+                f"expected HOST:PORT"
+            )
+        try:
+            channel = SocketWorkerChannel(host or "127.0.0.1", int(port))
+        except ReproError as exc:
+            raise SystemExit(f"rocketrig campaign: {exc}")
+        worker = Worker(
+            channel,
+            worker_id=args.worker_id,
+            results_dir=args.results_dir,
+            idle_timeout=args.idle_timeout,
+            log=print,
+        )
+        stats = worker.run()
+        print(f"worker {stats['worker']!r}: {stats['completed']} completed, "
+              f"{stats['failed']} failed ({stats['reason']})")
+        stats["batch_failed"] = stats["failed"]
+        return stats
+
+    try:
+        deck = CampaignDeck.from_file(args.deck)
+        specs = deck.expand()
+    except (OSError, TypeError, ValueError, ReproError) as exc:
+        raise SystemExit(f"rocketrig campaign: bad deck {args.deck!r}: {exc}")
+    store = CampaignStore(deck.name, root=args.results_dir)
+    try:
+        endpoint = SocketEndpoint(host=args.host, port=args.port)
+    except OSError as exc:
+        raise SystemExit(
+            f"rocketrig campaign: cannot bind {args.host}:{args.port}: {exc}"
+        )
+    coordinator = Coordinator(
+        store,
+        specs,
+        endpoint,
+        lease_timeout=(
+            args.lease_timeout if args.lease_timeout is not None
+            else DEFAULT_LEASE_TIMEOUT
+        ),
+        run_timeout=args.timeout,
+        collective_timeout=args.collective_timeout,
+        status_interval=getattr(args, "status_interval", 0.0),
+        log=print,
+    )
+    host, port = endpoint.address
+    print(f"campaign {deck.name!r}: serving {len(specs)} runs on "
+          f"{host}:{port} — start workers with\n"
+          f"  rocketrig campaign --worker --connect {host}:{port}")
+    summary = coordinator.serve()
+    print(f"campaign {deck.name!r}: {summary['completed']} completed, "
+          f"{summary['skipped']} store hits, {summary['failed']} failed, "
+          f"{summary['requeued']} requeued across "
+          f"{len(summary['workers'])} workers; store at {store.root}")
+    summary["batch_failed"] = summary["failed"]
+    return summary
+
+
 def run_campaign_from_args(args: argparse.Namespace) -> dict:
     """Execute ``rocketrig campaign <deck.json>`` and print the outcome."""
+    if getattr(args, "serve", False) or getattr(args, "worker", False):
+        return run_service_from_args(args)
     from repro.campaign import (
         CampaignDeck,
         CampaignExecutor,
@@ -387,6 +550,11 @@ def run_campaign_from_args(args: argparse.Namespace) -> dict:
         getattr(args, "verbose", 0) - getattr(args, "quiet", 0)
     )
 
+    if args.deck is None:
+        raise SystemExit(
+            "rocketrig campaign: a deck is required (only --worker mode "
+            "runs without one)"
+        )
     try:
         deck = CampaignDeck.from_file(args.deck)
         specs = deck.expand()

@@ -1,0 +1,213 @@
+"""Protocol codec and framing properties (hypothesis).
+
+The coordinator/worker wire is only as trustworthy as its codec: every
+message type must survive a round trip bit-for-bit, every malformed
+input must fail with the typed :class:`ProtocolError` (never a raw
+``KeyError``/``UnicodeDecodeError`` leaking decoder internals, and
+never a ``pickle.loads`` of untrusted bytes), and frame reassembly must
+be invariant under arbitrary TCP chunking — the property that makes
+socket segmentation invisible to the protocol layer.
+"""
+
+import inspect
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.campaign.protocol as protocol
+from repro.campaign.protocol import (
+    MAX_FRAME_BYTES,
+    MESSAGE_TYPES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    Heartbeat,
+    JobDone,
+    JobFailed,
+    JobRequest,
+    NewJob,
+    NoWorkLeft,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    frame,
+    stream_frames,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+short_text = st.text(max_size=40)
+json_scalar = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-10**9, max_value=10**9),
+    finite, short_text,
+)
+payloads = st.dictionaries(
+    short_text,
+    st.one_of(json_scalar, st.lists(json_scalar, max_size=4)),
+    max_size=6,
+)
+
+messages = st.one_of(
+    st.builds(JobRequest, worker=short_text),
+    st.builds(
+        NewJob,
+        run_hash=short_text,
+        payload=payloads,
+        campaign=short_text,
+        store_root=short_text,
+        lease_timeout=finite,
+        timeout=finite,
+        collective_timeout=finite,
+    ),
+    st.builds(NoWorkLeft, reason=short_text),
+    st.builds(Heartbeat, worker=short_text, run_hash=short_text),
+    st.builds(
+        JobDone,
+        worker=short_text,
+        run_hash=short_text,
+        elapsed=finite,
+        resumed_from_step=st.integers(min_value=0, max_value=10**6),
+    ),
+    st.builds(
+        JobFailed,
+        worker=short_text,
+        run_hash=short_text,
+        error=short_text,
+        elapsed=finite,
+    ),
+)
+
+
+# -- codec --------------------------------------------------------------------
+
+
+class TestCodec:
+    @settings(max_examples=200)
+    @given(msg=messages)
+    def test_round_trip_every_message_type(self, msg):
+        assert decode_message(encode_message(msg)) == msg
+
+    @settings(max_examples=200)
+    @given(data=st.binary(max_size=256))
+    def test_arbitrary_bytes_decode_or_typed_error(self, data):
+        """Garbage in → ProtocolError out, never any other exception."""
+        try:
+            msg = decode_message(data)
+        except ProtocolError:
+            return
+        assert type(msg).TYPE in MESSAGE_TYPES
+
+    @settings(max_examples=100)
+    @given(msg=messages, cut=st.integers(min_value=0, max_value=200))
+    def test_truncated_codec_bytes_rejected(self, msg, cut):
+        data = encode_message(msg)
+        truncated = data[: min(cut, len(data) - 1)]
+        with pytest.raises(ProtocolError):
+            decode_message(truncated)
+
+    def test_version_mismatch_rejected(self):
+        doc = json.loads(encode_message(JobRequest(worker="w")))
+        doc["v"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            decode_message(json.dumps(doc).encode())
+
+    def test_unknown_type_rejected(self):
+        doc = {"v": PROTOCOL_VERSION, "type": "launch-missiles"}
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_message(json.dumps(doc).encode())
+
+    def test_missing_required_field_rejected(self):
+        doc = {"v": PROTOCOL_VERSION, "type": "heartbeat", "worker": "w"}
+        with pytest.raises(ProtocolError, match="run_hash"):
+            decode_message(json.dumps(doc).encode())
+
+    @pytest.mark.parametrize("field,value", [
+        ("worker", 3), ("worker", None), ("run_hash", ["x"]),
+        ("elapsed", "fast"), ("elapsed", True), ("resumed_from_step", 0.5),
+    ])
+    def test_wrong_field_shape_rejected(self, field, value):
+        doc = json.loads(
+            encode_message(JobDone(worker="w", run_hash="h", elapsed=1.0))
+        )
+        doc[field] = value
+        with pytest.raises(ProtocolError, match=field):
+            decode_message(json.dumps(doc).encode())
+
+    def test_unknown_extra_keys_ignored(self):
+        """Forward compatibility: a newer minor revision may add keys."""
+        doc = json.loads(encode_message(NoWorkLeft()))
+        doc["shiny_new_field"] = 42
+        assert decode_message(json.dumps(doc).encode()) == NoWorkLeft()
+
+    def test_non_message_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_message({"type": "job-request", "worker": "w"})
+
+    def test_no_pickle_anywhere(self):
+        """The wire never unpickles: frames arrive from a network socket
+        and ``pickle.loads`` of untrusted bytes is arbitrary code
+        execution."""
+        source = inspect.getsource(protocol)
+        assert "import pickle" not in source
+        assert "pickle.loads" not in source
+        assert "pickle.load" not in source
+
+
+# -- framing ------------------------------------------------------------------
+
+
+class TestFraming:
+    @settings(max_examples=100)
+    @given(
+        msgs=st.lists(messages, max_size=6),
+        data=st.data(),
+    )
+    def test_chunking_invariance(self, msgs, data):
+        """Any split of the same byte stream yields the same frames."""
+        stream = stream_frames(msgs)
+        cuts = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=len(stream)),
+                    max_size=16,
+                )
+            )
+        )
+        decoder = FrameDecoder()
+        frames = []
+        prev = 0
+        for cut in cuts + [len(stream)]:
+            frames.extend(decoder.feed(stream[prev:cut]))
+            prev = cut
+        decoder.finish()
+        assert [decode_message(f) for f in frames] == msgs
+
+    @settings(max_examples=100)
+    @given(msgs=st.lists(messages, min_size=1, max_size=4))
+    def test_truncated_stream_is_an_error_not_a_silent_drop(self, msgs):
+        stream = stream_frames(msgs)
+        decoder = FrameDecoder()
+        decoder.feed(stream[:-1])
+        assert decoder.pending > 0
+        with pytest.raises(ProtocolError, match="truncated"):
+            decoder.finish()
+
+    def test_oversized_length_prefix_rejected_before_allocation(self):
+        decoder = FrameDecoder()
+        hostile = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="MAX_FRAME_BYTES"):
+            decoder.feed(hostile)
+
+    def test_oversized_payload_rejected_on_frame(self):
+        with pytest.raises(ProtocolError, match="MAX_FRAME_BYTES"):
+            frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_clean_stream_finishes(self):
+        decoder = FrameDecoder()
+        frames = decoder.feed(stream_frames([NoWorkLeft(), JobRequest("w")]))
+        decoder.finish()
+        assert [decode_message(f) for f in frames] == [
+            NoWorkLeft(), JobRequest("w"),
+        ]

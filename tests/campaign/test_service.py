@@ -1,0 +1,238 @@
+"""Campaign service conformance: both transports vs the serial executor.
+
+One deck, three execution paths — the plain serial executor, a
+socket-transport coordinator with two worker threads, and a
+simulated-MPI coordinator with two worker ranks — must agree on
+everything durable: the set of store records and their statuses, the
+result payloads (modulo timing fields), and the terminal states in
+``status.json``.  The two transports must additionally exchange the
+same multiset of protocol messages (heartbeats excluded — they are
+timing-dependent by design), which is what "transport-agnostic"
+actually means.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.campaign import (
+    CampaignDeck,
+    CampaignExecutor,
+    CampaignStore,
+    Coordinator,
+    MpiEndpoint,
+    MpiWorkerChannel,
+    SocketEndpoint,
+    SocketWorkerChannel,
+    Worker,
+    campaign_summary,
+)
+from repro.mpi import run_spmd
+
+#: The acceptance deck: 8 runs (4 heFFTe configs x 2 rank counts),
+#: small enough for CI, rank-varied enough to exercise distinct code
+#: paths per run.
+DECK = {
+    "name": "svc",
+    "mode": "functional",
+    "steps": 2,
+    "base": {"order": "low", "num_nodes": [16, 16], "dt": 0.002},
+    "ic": {"kind": "multi_mode", "magnitude": 0.02, "period": 3},
+    "grid": {"fft_config": [0, 3, 5, 7], "ranks": [1, 2]},
+}
+
+#: Fields that legitimately differ between executions of the same spec.
+TIMING_FIELDS = ("elapsed", "timestamp", "run_dir")
+
+
+def specs():
+    return CampaignDeck.from_dict(DECK).expand()
+
+
+def run_serial(root):
+    store = CampaignStore("svc", root=str(root))
+    CampaignExecutor(
+        store, max_workers=1, worker_type="serial", telemetry=False,
+        status_interval=0.0,
+    ).submit(specs())
+    return store
+
+
+def run_socket_service(root, n_workers=2):
+    """Coordinator + N worker threads over local TCP."""
+    store = CampaignStore("svc", root=str(root))
+    endpoint = SocketEndpoint()
+    coordinator = Coordinator(
+        store, specs(), endpoint, lease_timeout=60.0, drain_grace=3.0,
+        journal=True,
+    )
+    host, port = endpoint.address
+    stats = {}
+
+    def pull(name):
+        channel = SocketWorkerChannel(host, port)
+        worker = Worker(
+            channel, worker_id=name, idle_timeout=30.0, telemetry=False,
+        )
+        stats[name] = worker.run()
+
+    threads = [
+        threading.Thread(target=pull, args=(f"w{i}",))
+        for i in range(n_workers)
+    ]
+    for t in threads:
+        t.start()
+    summary = coordinator.serve()
+    for t in threads:
+        t.join(timeout=60.0)
+    assert not any(t.is_alive() for t in threads)
+    return store, summary, coordinator.journal, stats
+
+
+def run_mpi_service(root, n_workers=2):
+    """Coordinator on rank 0, workers on ranks 1..N, simulated MPI."""
+    store_root = str(root)
+    out = {}
+
+    def node(comm):
+        if comm.Get_rank() == 0:
+            store = CampaignStore("svc", root=store_root)
+            coordinator = Coordinator(
+                store, specs(), MpiEndpoint(comm), lease_timeout=60.0,
+                drain_grace=3.0, journal=True,
+            )
+            out["summary"] = coordinator.serve()
+            out["journal"] = coordinator.journal
+        else:
+            worker = Worker(
+                MpiWorkerChannel(comm),
+                worker_id=f"rank{comm.Get_rank()}",
+                idle_timeout=30.0,
+                telemetry=False,
+            )
+            out[comm.Get_rank()] = worker.run()
+
+    run_spmd(n_workers + 1, node, timeout=300.0)
+    return CampaignStore("svc", root=store_root), out["summary"], out["journal"]
+
+
+def comparable_records(store):
+    """hash → (status, result-minus-timing) for cross-path comparison."""
+    records = {}
+    for run_hash, record in store.latest_records().items():
+        result = store.load_result(run_hash)
+        stripped = (
+            {k: v for k, v in result.items() if k not in TIMING_FIELDS}
+            if result is not None else None
+        )
+        records[run_hash] = (record.status, stripped)
+    return records
+
+
+def terminal_states(store):
+    with open(os.path.join(store.root, "status.json")) as fh:
+        status = json.load(fh)
+    assert status["done"]
+    return {h: entry["state"] for h, entry in status["runs"].items()}
+
+
+def message_multiset(journal):
+    """(direction, wire type) counts — the transport-invariant shape of
+    the conversation (conn ids and interleaving are transport-specific,
+    heartbeats are excluded at the journal layer)."""
+    counts = {}
+    for direction, _conn, msg in journal:
+        key = (direction, msg.TYPE)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+@pytest.fixture(scope="module")
+def serial(tmp_path_factory):
+    return run_serial(tmp_path_factory.mktemp("serial"))
+
+
+class TestConformance:
+    def test_socket_service_matches_serial(self, tmp_path, serial):
+        store, summary, journal, stats = run_socket_service(tmp_path)
+        assert summary["completed"] == len(specs())
+        assert summary["failed"] == 0
+        assert sorted(summary["workers"]) == ["w0", "w1"]
+        # Every worker got work and none crashed out.
+        assert all(s["reason"] == "no-work-left" for s in stats.values())
+        assert sum(s["completed"] for s in stats.values()) == len(specs())
+        # The durable outcome is indistinguishable from a serial run.
+        assert comparable_records(store) == comparable_records(serial)
+        assert campaign_summary(store)["completed"] == len(specs())
+        assert set(terminal_states(store).values()) == {"completed"}
+
+    def test_mpi_service_matches_serial(self, tmp_path, serial):
+        store, summary, journal = run_mpi_service(tmp_path)
+        assert summary["completed"] == len(specs())
+        assert summary["failed"] == 0
+        assert comparable_records(store) == comparable_records(serial)
+        assert set(terminal_states(store).values()) == {"completed"}
+
+    def test_transports_exchange_the_same_messages(self, tmp_path):
+        """Same deck, same worker count → the same message multiset on
+        both wires (up to reordering and connection identity)."""
+        _, _, socket_journal, _ = run_socket_service(tmp_path / "sock")
+        _, _, mpi_journal = run_mpi_service(tmp_path / "mpi")
+        socket_counts = message_multiset(socket_journal)
+        mpi_counts = message_multiset(mpi_journal)
+        assert socket_counts == mpi_counts
+        n = len(specs())
+        # The shape is also predictable in absolute terms: every run is
+        # granted and reported exactly once, every worker gets exactly
+        # one no-work-left.
+        assert socket_counts[("send", "new-job")] == n
+        assert socket_counts[("recv", "job-done")] == n
+        assert socket_counts[("recv", "job-request")] == n + 2
+        assert socket_counts[("send", "no-work-left")] == 2
+
+    def test_second_service_run_is_all_store_hits(self, tmp_path):
+        store, summary, _, stats = run_socket_service(tmp_path)
+        assert summary["completed"] == len(specs())
+        # Re-serve the same deck against the same store: nothing runs.
+        endpoint = SocketEndpoint()
+        coordinator = Coordinator(
+            store, specs(), endpoint, lease_timeout=60.0, drain_grace=1.0,
+        )
+        summary2 = coordinator.serve()
+        assert summary2["skipped"] == len(specs())
+        assert summary2["completed"] == 0
+        assert summary2["workers"] == []
+
+
+class TestStatusDocument:
+    def test_service_section_present(self, tmp_path):
+        store, _, _, _ = run_socket_service(tmp_path)
+        with open(os.path.join(store.root, "status.json")) as fh:
+            status = json.load(fh)
+        assert status["worker_type"] == "service"
+        service = status["service"]
+        assert service["lease_timeout"] == 60.0
+        assert service["leases"] == {}
+        assert service["queued"] == 0
+        assert sorted(service["workers"]) == ["w0", "w1"]
+        for info in service["workers"].values():
+            assert info["jobs_done"] >= 1
+
+    def test_service_json_discovery_file(self, tmp_path):
+        store, _, _, _ = run_socket_service(tmp_path)
+        with open(os.path.join(store.root, "service.json")) as fh:
+            info = json.load(fh)
+        assert info["campaign"] == "svc"
+        assert info["done"] is True
+        assert info["host"] == "127.0.0.1"
+        assert isinstance(info["port"], int)
+
+    def test_metrics_in_status(self, tmp_path):
+        store, _, _, _ = run_socket_service(tmp_path)
+        with open(os.path.join(store.root, "status.json")) as fh:
+            metrics = json.load(fh)["metrics"]
+        assert metrics["campaign.service.jobs_leased"] == len(specs())
+        assert metrics["campaign.service.workers_seen"] == 2
+        assert metrics.get("campaign.service.leases_expired", 0) == 0

@@ -167,3 +167,91 @@ class TestResultsRoot:
             monkeypatch.delenv("REPRO_RESULTS_DIR")
             importlib.reload(common)
             sys.path.pop(0)
+
+
+class TestLeaseFields:
+    """Claim-marker leases (owner + lease_expires) and the
+    mixed-version story: indexes written before the fields existed must
+    keep parsing, and old readers must survive new records."""
+
+    def test_record_running_stamps_lease(self, store, spec):
+        store.record_running(spec, owner="w0", lease_expires=123.5)
+        (record,) = store.iter_records()
+        assert record.owner == "w0"
+        assert record.lease_expires == 123.5
+
+    def test_record_running_default_is_anonymous(self, store, spec):
+        store.record_running(spec)
+        (record,) = store.iter_records()
+        assert record.owner is None
+        assert record.lease_expires == 0.0
+
+    def test_pre_lease_index_line_parses_with_defaults(self, store, spec):
+        """A record appended by a pre-lease writer (no owner /
+        lease_expires keys) reads back as claimant-unknown,
+        lease-lapsed."""
+        old_line = json.dumps({
+            "run_hash": spec.run_hash(),
+            "status": "running",
+            "spec": spec.payload(),
+            "result": {},
+            "error": None,
+            "elapsed": 0.0,
+            "timestamp": 1000.0,
+            "resumed_from_step": 0,
+        })
+        os.makedirs(os.path.dirname(store.index_path), exist_ok=True)
+        with open(store.index_path, "a", encoding="utf-8") as fh:
+            fh.write(old_line + "\n")
+        (record,) = store.iter_records()
+        assert record.owner is None
+        assert record.lease_expires == 0.0
+        assert record.status == "running"
+
+    def test_old_reader_ignores_new_keys(self, store, spec):
+        """The reverse direction: a new record round-trips through the
+        defaults-based parser even when extra future keys are present
+        (the parser takes only the keys it knows)."""
+        store.record_running(spec, owner="w1", lease_expires=99.0)
+        with open(store.index_path, encoding="utf-8") as fh:
+            data = json.loads(fh.readline())
+        data["some_future_field"] = {"x": 1}
+        record = RunRecord.from_json(json.dumps(data))
+        assert record.owner == "w1"
+        assert record.run_hash == spec.run_hash()
+
+    def test_mixed_version_store(self, store, spec):
+        """Old anonymous claims and new leased claims coexist in one
+        index: expired_claims reports the old claim (no lease = always
+        lapsed) and respects the new claim's live deadline."""
+        import time as _time
+
+        old = CampaignDeck.from_dict(
+            {"mode": "model", "base": {"order": "low"}, "grid": {"ranks": [2]}}
+        ).expand()[0]
+        old_line = json.dumps({
+            "run_hash": old.run_hash(),
+            "status": "running",
+            "spec": old.payload(),
+            "timestamp": 1000.0,
+        })
+        os.makedirs(os.path.dirname(store.index_path), exist_ok=True)
+        with open(store.index_path, "a", encoding="utf-8") as fh:
+            fh.write(old_line + "\n")
+        store.record_running(
+            spec, owner="w0", lease_expires=_time.time() + 3600.0
+        )
+
+        claimed = store.claimed_runs()
+        assert set(claimed) == {old.run_hash(), spec.run_hash()}
+        expired = store.expired_claims()
+        assert set(expired) == {old.run_hash()}
+
+    def test_expired_claims_clock(self, store, spec):
+        store.record_running(spec, owner="w0", lease_expires=500.0)
+        assert set(store.expired_claims(now=499.0)) == set()
+        assert set(store.expired_claims(now=500.0)) == {spec.run_hash()}
+        # A terminal record clears the claim entirely.
+        store.record_completed(spec, {"ok": 1})
+        assert store.claimed_runs() == {}
+        assert store.expired_claims(now=10**12) == {}
