@@ -1,9 +1,13 @@
 #!/usr/bin/env python
-"""Quickstart: a serial low-order rocket-rig run in ~30 lines.
+"""Quickstart: a serial low-order rocket-rig run in ~20 lines.
 
-Simulates Rayleigh-Taylor growth of a small multi-mode interface with
-the FFT-based low-order Z-Model solver and prints the growth of the
-interface amplitude — the simplest end-to-end use of the library.
+Loads the ``multimode-quickstart`` scenario pack — a small multi-mode
+Rayleigh-Taylor interface on the FFT-based low-order Z-Model solver —
+from the scenario registry and prints the growth of the interface
+amplitude, the simplest end-to-end use of the library.  The pack (in
+``scenarios/multimode-quickstart.json``) carries the geometry, solver
+parameters and initial condition; ``rocketrig --scenario
+multimode-quickstart`` runs the same workload from the command line.
 
 Run:  python examples/quickstart.py
 """
@@ -11,27 +15,20 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro import mpi
-from repro.core import InitialCondition, Solver, SolverConfig
+from repro.core import Solver
+from repro.scenarios import get_scenario
 
 
 def main() -> None:
-    config = SolverConfig(
-        num_nodes=(64, 64),                # surface mesh resolution
-        low=(-np.pi, -np.pi),
-        high=(np.pi, np.pi),
-        periodic=(True, True),
-        order="low",                       # FFT-based Birkhoff-Rott
-        atwood=0.5,
-        gravity=10.0,
-        mu=0.02,                           # a little artificial viscosity
-    )
-    ic = InitialCondition(kind="multi_mode", magnitude=0.01, period=4, seed=7)
+    pack = get_scenario("multimode-quickstart")
+    config = pack.solver_config()
+    print(f"scenario: {pack.describe()}")
 
     comm = mpi.single_rank_comm()          # serial: no rank threads
-    solver = Solver(comm, config, ic)
+    solver = Solver(comm, config, pack.initial_condition())
     print(f"mesh: {config.num_nodes}, dt = {solver.dt:.5f}")
     print(f"{'step':>6} {'time':>9} {'amplitude':>12} {'|vorticity|':>12}")
-    for _ in range(10):
+    for _ in range(pack.steps // 5):
         solver.run(5)
         d = solver.diagnostics()
         print(

@@ -1,50 +1,42 @@
 #!/usr/bin/env python
 """The paper's Figure 1 scenario: multi-mode periodic rocket rig.
 
-Runs the low-order (FFT) solver on 4 simulated ranks with a random
-multi-mode initial interface — the bandwidth-stressing benchmark
-problem of paper §4 — writes VTK surface dumps colored by vorticity
-magnitude (what Figure 1 visualizes), and reports the communication
-trace: the all-to-all structure of the distributed FFT plus the halo
-exchanges.
+Loads the ``multimode-periodic`` scenario pack — the
+bandwidth-stressing benchmark problem of paper §4: a random multi-mode
+initial interface on the low-order (FFT) solver — and runs it on 4
+simulated ranks, writing VTK surface dumps colored by vorticity
+magnitude (what Figure 1 visualizes).  The physics lives in
+``scenarios/multimode-periodic.json``; this script adds the
+communication-trace analysis: the all-to-all structure of the
+distributed FFT plus the halo exchanges, replayed through the
+Lassen-like machine model.
 
 Run:  python examples/rocketrig_multimode.py [output_dir]
 """
 
 import sys
 
-import numpy as np
-
 from repro import mpi
-from repro.core import InitialCondition, SiloWriter, Solver, SolverConfig
+from repro.core import SiloWriter, Solver
 from repro.machine import LASSEN, replay_trace
-
-RANKS = 4
-STEPS = 20
+from repro.scenarios import get_scenario
 
 
 def main(outdir: str = "results/multimode") -> None:
-    config = SolverConfig(
-        num_nodes=(64, 64),
-        low=(-np.pi, -np.pi),
-        high=(np.pi, np.pi),
-        periodic=(True, True),
-        order="low",
-        atwood=0.5,
-        gravity=10.0,
-        mu=0.02,
-    )
-    ic = InitialCondition(kind="multi_mode", magnitude=0.02, period=4, seed=11)
+    pack = get_scenario("multimode-periodic")
+    config = pack.solver_config()
+    ranks, steps = pack.ranks, pack.steps
+    print(f"scenario: {pack.describe()}")
     trace = mpi.CommTrace()
     writer = SiloWriter(outdir, "multimode")
 
     def program(comm):
-        solver = Solver(comm, config, ic)
-        solver.run(STEPS, writer=writer, write_freq=10)
+        solver = Solver(comm, config, pack.initial_condition())
+        solver.run(steps, writer=writer, write_freq=10)
         return solver.diagnostics()
 
-    results = mpi.run_spmd(RANKS, program, trace=trace)
-    print(f"ran {STEPS} steps on {RANKS} ranks: {results[0]}")
+    results = mpi.run_spmd(ranks, program, trace=trace)
+    print(f"ran {steps} steps on {ranks} ranks: {results[0]}")
     print(f"VTK dumps: {writer.written}")
 
     # Communication structure: the low-order solver is all-to-all heavy.
@@ -58,7 +50,7 @@ def main(outdir: str = "results/multimode") -> None:
         comm_t, comp_t = replay.phase_breakdown(phase)
         print(f"  modeled {phase:>10}: comm {comm_t*1e3:8.3f} ms  "
               f"compute {comp_t*1e3:8.3f} ms")
-    print(f"  modeled total: {replay.total*1e3:.2f} ms for {STEPS} steps")
+    print(f"  modeled total: {replay.total*1e3:.2f} ms for {steps} steps")
 
 
 if __name__ == "__main__":

@@ -1,12 +1,14 @@
 #!/usr/bin/env python
 """The paper's Figure 2 scenario: single-mode non-periodic rocket rig.
 
-Runs the high-order cutoff Birkhoff-Rott solver on 4 simulated ranks
-with the load-imbalance benchmark problem of paper §4: a single-mode
-perturbation with free boundaries whose center rolls up as time
-advances, skewing the spatial ownership of points (the mechanism behind
-the paper's Figures 6/7).  Writes VTK dumps and prints the ownership
-distribution early and late in the run.
+Loads the ``singlemode-rollup`` scenario pack — the load-imbalance
+benchmark problem of paper §4: a single-mode perturbation with free
+boundaries whose center rolls up as time advances, skewing the spatial
+ownership of points (the mechanism behind the paper's Figures 6/7) —
+and runs the high-order cutoff Birkhoff-Rott solver on 4 simulated
+ranks.  The physics lives in ``scenarios/singlemode-rollup.json``; this
+script adds what a pack can't express: the fine-grained 256-block
+ownership census early and late in the run.
 
 Run:  python examples/rocketrig_singlemode.py [output_dir]
 """
@@ -16,36 +18,16 @@ import sys
 import numpy as np
 
 from repro import mpi
-from repro.core import (
-    InitialCondition,
-    SiloWriter,
-    Solver,
-    SolverConfig,
-    ownership_stats,
-)
+from repro.core import SiloWriter, Solver, ownership_stats
+from repro.scenarios import get_scenario
 from repro.spatial import SpatialMesh
-
-RANKS = 4
-STEPS = 60      # enough rollup for the spatial skew to be visible
 
 
 def main(outdir: str = "results/singlemode") -> None:
-    config = SolverConfig(
-        num_nodes=(32, 32),
-        low=(-1.0, -1.0),
-        high=(1.0, 1.0),
-        periodic=(False, False),          # free boundaries: rollup develops
-        order="high",
-        br_solver="cutoff",
-        cutoff=0.8,
-        atwood=0.5,
-        gravity=25.0,
-        dt=0.01,
-        eps=0.08,
-        spatial_low=(-1.5, -1.5, -1.5),
-        spatial_high=(1.5, 1.5, 1.5),
-    )
-    ic = InitialCondition(kind="single_mode", magnitude=0.12, period=0.5)
+    pack = get_scenario("singlemode-rollup")
+    config = pack.solver_config()
+    ranks, steps = pack.ranks, pack.steps
+    print(f"scenario: {pack.describe()}")
     writer = SiloWriter(outdir, "singlemode")
 
     # Fine-grained virtual decomposition (256 blocks), the granularity
@@ -57,20 +39,20 @@ def main(outdir: str = "results/singlemode") -> None:
         return np.bincount(fine_mesh.owner_of(positions), minlength=256)
 
     def program(comm):
-        solver = Solver(comm, config, ic)
+        solver = Solver(comm, config, pack.initial_condition())
         solver.step()
         early_pos = np.concatenate(
             comm.allgather(solver.pm.z.own.reshape(-1, 3))
         )
-        solver.run(STEPS - 1, writer=writer, write_freq=STEPS // 2)
+        solver.run(steps - 1, writer=writer, write_freq=steps // 2)
         late_pos = np.concatenate(
             comm.allgather(solver.pm.z.own.reshape(-1, 3))
         )
         return fine_counts(early_pos), fine_counts(late_pos), solver.diagnostics()
 
-    results = mpi.run_spmd(RANKS, program, timeout=600.0)
+    results = mpi.run_spmd(ranks, program, timeout=600.0)
     early, late, diag = results[0]
-    print(f"ran {STEPS} steps on {RANKS} ranks: {diag}")
+    print(f"ran {steps} steps on {ranks} ranks: {diag}")
     print(f"VTK dumps: {writer.written}")
 
     s_early, s_late = ownership_stats(early), ownership_stats(late)

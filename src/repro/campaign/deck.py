@@ -23,7 +23,19 @@ Deck JSON example (see README "Campaign orchestration")::
 
 Axis keys name :class:`~repro.core.SolverConfig` fields (``fft_config``
 accepts a Table-1 index), ``ic.<field>`` for initial-condition fields,
-or the run-level keys ``ranks`` / ``steps``.
+the run-level keys ``ranks`` / ``steps``, or ``scenario`` — a named
+pack from the scenario registry (:mod:`repro.scenarios`).  A
+``scenario`` value (in ``base`` or as an axis) resolves the pack's
+``config``/``ic`` dicts *underneath* the deck's own ``base``/``ic`` and
+axis overrides, so campaigns sweep scenario packs exactly the way they
+sweep backends::
+
+    {"grid": {"scenario": ["multimode-periodic", "singlemode-rollup"],
+              "backend": ["numpy", "blocked"]}}
+
+Expansion always emits fully-resolved specs — a pack-derived RunSpec
+hashes identically to the same parameters written out explicitly, so
+store dedup, LJF scheduling and the batch fast path are unchanged.
 """
 
 from __future__ import annotations
@@ -41,9 +53,12 @@ from repro.core.solver import SolverConfig
 from repro.fft.config import FftConfig
 from repro.util.errors import ConfigurationError
 
-__all__ = ["RunSpec", "CampaignDeck"]
+__all__ = ["RunSpec", "CampaignDeck", "build_config"]
 
 _MODES = ("functional", "model")
+
+#: Deck key naming a scenario-registry pack to resolve underneath the deck.
+_SCENARIO_KEY = "scenario"
 
 #: SolverConfig fields stored as coordinate tuples (JSON carries lists).
 _TUPLE_FIELDS = ("num_nodes", "low", "high", "periodic", "spatial_low", "spatial_high")
@@ -52,8 +67,13 @@ _CONFIG_FIELDS = {f.name for f in dataclasses.fields(SolverConfig)}
 _IC_FIELDS = {f.name for f in dataclasses.fields(InitialCondition)}
 
 
-def _build_config(params: dict[str, Any]) -> SolverConfig:
-    """SolverConfig from a JSON-ish dict (lists → tuples, int fft index)."""
+def build_config(params: dict[str, Any]) -> SolverConfig:
+    """SolverConfig from a JSON-ish dict (lists → tuples, int fft index).
+
+    The one dict→config path shared by deck expansion, process-pool
+    payload rebuilds and the scenario-pack loader, so every consumer
+    coerces tuple fields and ``fft_config`` indices identically.
+    """
     kwargs = dict(params)
     for key in _TUPLE_FIELDS:
         if kwargs.get(key) is not None:
@@ -64,6 +84,10 @@ def _build_config(params: dict[str, Any]) -> SolverConfig:
     elif isinstance(fft, dict):
         kwargs["fft_config"] = FftConfig(**fft)
     return SolverConfig(**kwargs)
+
+
+# Backwards-compatible alias (pre-scenario-registry name).
+_build_config = build_config
 
 
 def _canonical(value: Any) -> Any:
@@ -172,11 +196,12 @@ class CampaignDeck:
             )
         for key in list(self.grid) + list(self.zip_axes):
             self._validate_key(key)
-        unknown_base = set(self.base) - _CONFIG_FIELDS
+        unknown_base = set(self.base) - _CONFIG_FIELDS - {_SCENARIO_KEY}
         if unknown_base:
             raise ConfigurationError(
                 f"unknown base config fields {sorted(unknown_base)}; "
-                f"SolverConfig fields: {sorted(_CONFIG_FIELDS)}"
+                f"SolverConfig fields: {sorted(_CONFIG_FIELDS)} "
+                f"or 'scenario'"
             )
         unknown_ic = set(self.ic) - _IC_FIELDS
         if unknown_ic:
@@ -203,7 +228,7 @@ class CampaignDeck:
 
     @staticmethod
     def _validate_key(key: str) -> None:
-        if key in ("ranks", "steps"):
+        if key in ("ranks", "steps", _SCENARIO_KEY):
             return
         if key.startswith("ic."):
             if key[3:] not in _IC_FIELDS:
@@ -215,7 +240,8 @@ class CampaignDeck:
         if key not in _CONFIG_FIELDS:
             raise ConfigurationError(
                 f"unknown deck axis {key!r}; SolverConfig fields: "
-                f"{sorted(_CONFIG_FIELDS)}, 'ic.<field>', 'ranks', 'steps'"
+                f"{sorted(_CONFIG_FIELDS)}, 'ic.<field>', 'ranks', "
+                f"'steps', 'scenario'"
             )
 
     # -- construction ---------------------------------------------------------
@@ -271,12 +297,29 @@ class CampaignDeck:
                 yield point
 
     def expand(self) -> list[RunSpec]:
-        """Materialize every run of the sweep as a frozen :class:`RunSpec`."""
+        """Materialize every run of the sweep as a frozen :class:`RunSpec`.
+
+        When a point (or ``base``) names a ``scenario``, the pack is
+        resolved first and layered *under* the deck's own parameters:
+        pack config/ic < deck ``base``/``ic`` < axis point values.  The
+        emitted spec carries only resolved parameters — no scenario
+        field — so it content-hashes identically to the equivalent
+        explicit deck.
+        """
         specs = []
         for point in self._points():
-            config_params = dict(self.base)
+            scenario_name = point.pop(_SCENARIO_KEY, self.base.get(_SCENARIO_KEY))
+            config_params = {
+                k: v for k, v in self.base.items() if k != _SCENARIO_KEY
+            }
             ic_params = dict(self.ic)
             ranks, steps = self.ranks, self.steps
+            if scenario_name is not None:
+                from repro.scenarios import get_scenario
+
+                pack = get_scenario(scenario_name)
+                config_params = {**pack.config, **config_params}
+                ic_params = {**pack.ic, **ic_params}
             for key, value in point.items():
                 if key == "ranks":
                     ranks = int(value)

@@ -16,6 +16,17 @@ Examples::
     rocketrig --nodes 128 --order high --br-solver tree --theta 0.5 \\
               --free-boundaries --steps 10 --trace
 
+Named workloads come from the scenario registry (:mod:`repro.scenarios`):
+``--scenario <name>`` loads a validated pack — paper-sourced geometry,
+solver parameters and initial condition — and any explicitly-passed
+flag still overrides the pack field it names (``--backend`` is always a
+machine choice, never part of a pack).  ``--list-scenarios`` prints the
+registry with provenance::
+
+    rocketrig --scenario singlemode-rollup --outdir results/rig
+    rocketrig --scenario multimode-periodic --backend blocked --steps 5
+    rocketrig --list-scenarios
+
 Batch campaigns (``rocketrig campaign``) run a whole sweep deck through
 the :mod:`repro.campaign` subsystem: runs execute concurrently in
 longest-job-first order on the selected worker backend (``--worker-type
@@ -56,6 +67,7 @@ from repro.core import (
     Solver,
     SolverConfig,
     available_br_solvers,
+    available_ic_kinds,
     ownership_stats,
 )
 from repro.fft import FftConfig
@@ -72,7 +84,56 @@ __all__ = [
 
 #: Initial-condition kinds, shared by the parser choices and the help
 #: epilog so the two cannot drift apart.
-IC_CHOICES = ("single_mode", "multi_mode", "sech2", "gaussian", "flat")
+IC_CHOICES = tuple(available_ic_kinds())
+
+#: Parser defaults for every flag a scenario pack can also set.  The
+#: ``add_argument`` calls below read from this dict, and the
+#: ``--scenario`` override logic compares against it — an explicitly
+#: passed flag (value != default) overrides the pack field it names,
+#: and the two can't drift apart.
+_FLAG_DEFAULTS = {
+    "nodes": 64,
+    "extent": 2 * np.pi,
+    "free_boundaries": False,
+    "order": "low",
+    "br_solver": "exact",
+    "cutoff": 0.5,
+    "skin": 0.0,
+    "rebuild_freq": 0,
+    "theta": 0.5,
+    "leaf_size": 32,
+    "atwood": 0.5,
+    "gravity": 10.0,
+    "mu": 0.0,
+    "epsilon": None,
+    "dt": None,
+    "br_images": False,
+    "fft_config": 7,
+    "ic": "multi_mode",
+    "magnitude": 0.05,
+    "period": 4.0,
+    "seed": 12345,
+    "steps": 10,
+    "ranks": 1,
+}
+
+#: Flag dest → SolverConfig field, for flags that map one-to-one.
+_CONFIG_FLAG_FIELDS = {
+    "order": "order",
+    "br_solver": "br_solver",
+    "cutoff": "cutoff",
+    "skin": "skin",
+    "rebuild_freq": "rebuild_freq",
+    "theta": "theta",
+    "leaf_size": "leaf_size",
+    "atwood": "atwood",
+    "gravity": "gravity",
+    "mu": "mu",
+    "epsilon": "eps",
+    "dt": "dt",
+    "br_images": "br_images",
+    "fft_config": "fft_config",
+}
 
 
 def _epilog() -> str:
@@ -82,6 +143,18 @@ def _epilog() -> str:
     these exact lines through ``parse_args``), and the solver/backend
     lists come from the same registries that drive dispatch.
     """
+    from repro.scenarios import scenario_families
+
+    try:
+        families = scenario_families()
+    except ReproError:
+        # A malformed pack shouldn't take --help down with it; the
+        # run/validate paths still report the real error.
+        families = []
+    scenario_line = (
+        f"scenario packs (--scenario): families {', '.join(families)}"
+        if families else "scenario packs (--scenario): none found"
+    )
     return f"""\
 examples:
   rocketrig --nodes 64 --order low --ic multi_mode --steps 20
@@ -91,9 +164,12 @@ examples:
   rocketrig --nodes 128 --order high --br-solver tree --theta 0.5 \\
             --free-boundaries --ic multi_mode --steps 10 --trace
   rocketrig --nodes 64 --ranks 4 --steps 5 --profile run.trace.json
+  rocketrig --scenario singlemode-rollup --outdir results/rig
+  rocketrig --scenario multimode-periodic --backend blocked --steps 5
   rocketrig campaign examples/decks/smoke.json --workers 4
   rocketrig campaign examples/decks/smoke.json --worker-type process \\
             --timeout 3600 --collective-timeout 600
+  rocketrig campaign examples/decks/scenario_sweep.json --workers 2
   rocketrig campaign examples/decks/service_smoke.json --serve --port 7777 \\
             --lease-timeout 120
   rocketrig campaign --worker --connect 127.0.0.1:7777 --worker-id drone-1
@@ -105,8 +181,10 @@ compute backends (--backend): {", ".join(available_backends())} \
 (default: $REPRO_BACKEND or numpy)
 comm transports (--comm):  {", ".join(mpi.available_transports())} \
 (default: $REPRO_COMM or naive)
+{scenario_line}
 
-Run --list-solvers / --list-backends to print the registries and exit.
+Run --list-solvers / --list-backends / --list-scenarios to print the
+registries and exit.
 """
 
 
@@ -121,58 +199,82 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the registered BR solvers and exit")
     parser.add_argument("--list-backends", action="store_true",
                         help="print the registered compute backends and exit")
+    parser.add_argument("--list-scenarios", action="store_true",
+                        help="print the scenario-pack registry (name, "
+                             "family, tags, provenance) and exit")
+    parser.add_argument("--scenario", "-s", default=None, metavar="NAME",
+                        help="load geometry, solver parameters and initial "
+                             "condition from this scenario pack (see "
+                             "--list-scenarios); explicitly passed flags "
+                             "override the pack fields they name")
     mesh = parser.add_argument_group("mesh")
-    mesh.add_argument("--nodes", "-n", type=int, default=64,
+    mesh.add_argument("--nodes", "-n", type=int,
+                      default=_FLAG_DEFAULTS["nodes"],
                       help="surface mesh nodes per dimension (default 64)")
-    mesh.add_argument("--extent", type=float, default=2 * np.pi,
+    mesh.add_argument("--extent", type=float,
+                      default=_FLAG_DEFAULTS["extent"],
                       help="domain edge length (default 2π)")
     mesh.add_argument("--free-boundaries", action="store_true",
                       help="non-periodic boundaries (requires --order high)")
 
     model = parser.add_argument_group("model")
     model.add_argument("--order", "-o", choices=("low", "medium", "high"),
-                       default="low", help="Z-Model order (default low)")
+                       default=_FLAG_DEFAULTS["order"],
+                       help="Z-Model order (default low)")
     model.add_argument("--br-solver", choices=tuple(available_br_solvers()),
-                       default="exact", help="Birkhoff-Rott solver")
-    model.add_argument("--cutoff", "-c", type=float, default=0.5,
+                       default=_FLAG_DEFAULTS["br_solver"],
+                       help="Birkhoff-Rott solver")
+    model.add_argument("--cutoff", "-c", type=float,
+                       default=_FLAG_DEFAULTS["cutoff"],
                        help="cutoff distance for the cutoff solver")
-    model.add_argument("--skin", type=float, default=0.0,
+    model.add_argument("--skin", type=float,
+                       default=_FLAG_DEFAULTS["skin"],
                        help="Verlet skin of the cutoff solver's spatial-"
                             "structure cache: neighbor lists and comm "
                             "plans are built at cutoff+skin and reused "
                             "until points move more than skin/2 "
                             "(0 = rebuild every evaluation)")
-    model.add_argument("--rebuild-freq", type=int, default=0,
+    model.add_argument("--rebuild-freq", type=int,
+                       default=_FLAG_DEFAULTS["rebuild_freq"],
                        help="force a neighbor-structure rebuild after "
                             "this many consecutive reuses (0 = "
                             "displacement-triggered only)")
-    model.add_argument("--theta", type=float, default=0.5,
+    model.add_argument("--theta", type=float,
+                       default=_FLAG_DEFAULTS["theta"],
                        help="tree solver multipole-acceptance criterion "
                             "in [0, 1): a node is evaluated through its "
                             "moments when size <= theta * distance "
                             "(0 = exact pair sums; default 0.5)")
-    model.add_argument("--leaf-size", type=int, default=32,
+    model.add_argument("--leaf-size", type=int,
+                       default=_FLAG_DEFAULTS["leaf_size"],
                        help="tree solver points per quadtree leaf "
                             "(near-field granularity, default 32)")
-    model.add_argument("--atwood", "-a", type=float, default=0.5)
-    model.add_argument("--gravity", "-g", type=float, default=10.0)
-    model.add_argument("--mu", type=float, default=0.0,
+    model.add_argument("--atwood", "-a", type=float,
+                       default=_FLAG_DEFAULTS["atwood"])
+    model.add_argument("--gravity", "-g", type=float,
+                       default=_FLAG_DEFAULTS["gravity"])
+    model.add_argument("--mu", type=float, default=_FLAG_DEFAULTS["mu"],
                        help="artificial viscosity coefficient")
-    model.add_argument("--epsilon", type=float, default=None,
+    model.add_argument("--epsilon", type=float,
+                       default=_FLAG_DEFAULTS["epsilon"],
                        help="Krasny desingularization length")
-    model.add_argument("--dt", type=float, default=None,
+    model.add_argument("--dt", type=float, default=_FLAG_DEFAULTS["dt"],
                        help="timestep (default: CFL-stable)")
     model.add_argument("--br-images", action="store_true",
                        help="include 3x3 periodic images in the exact solver")
 
     ic = parser.add_argument_group("initial condition")
-    ic.add_argument("--ic", "-I", default="multi_mode", choices=IC_CHOICES)
-    ic.add_argument("--magnitude", "-m", type=float, default=0.05)
-    ic.add_argument("--period", "-p", type=float, default=4.0)
-    ic.add_argument("--seed", type=int, default=12345)
+    ic.add_argument("--ic", "-I", default=_FLAG_DEFAULTS["ic"],
+                    choices=IC_CHOICES)
+    ic.add_argument("--magnitude", "-m", type=float,
+                    default=_FLAG_DEFAULTS["magnitude"])
+    ic.add_argument("--period", "-p", type=float,
+                    default=_FLAG_DEFAULTS["period"])
+    ic.add_argument("--seed", type=int, default=_FLAG_DEFAULTS["seed"])
 
     fft = parser.add_argument_group("FFT communication (heFFTe flags)")
-    fft.add_argument("--fft-config", type=int, default=7, choices=range(8),
+    fft.add_argument("--fft-config", type=int,
+                     default=_FLAG_DEFAULTS["fft_config"], choices=range(8),
                      help="Table-1 configuration index (default 7)")
 
     run = parser.add_argument_group("run")
@@ -187,8 +289,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "(naive object passing, packed pooled buffers, "
                           "device-direct, or per-payload auto dispatch; "
                           "default: $REPRO_COMM or naive)")
-    run.add_argument("--steps", "-t", type=int, default=10)
-    run.add_argument("--ranks", "-r", type=int, default=1,
+    run.add_argument("--steps", "-t", type=int,
+                     default=_FLAG_DEFAULTS["steps"])
+    run.add_argument("--ranks", "-r", type=int,
+                     default=_FLAG_DEFAULTS["ranks"],
                      help="simulated MPI ranks (default 1)")
     run.add_argument("--outdir", default=None,
                      help="write VTK dumps into this directory")
@@ -321,39 +425,92 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _scenario_run_params(
+    args: argparse.Namespace,
+) -> tuple[SolverConfig, InitialCondition, int, int]:
+    """Resolve ``--scenario`` plus explicit flag overrides.
+
+    The pack supplies every field it names; a CLI flag overrides the
+    pack field only when its parsed value differs from the parser
+    default in :data:`_FLAG_DEFAULTS` (i.e. the user actually passed
+    it).  ``--backend`` is always applied — packs forbid it, since the
+    compute engine is a machine choice, not part of scenario identity.
+    ``--steps``/``--ranks`` left at their defaults fall back to the
+    pack's ``run`` block.
+    """
+    from repro.campaign.deck import build_config
+    from repro.scenarios import get_scenario
+
+    pack = get_scenario(args.scenario)
+    config_params = dict(pack.config)
+    ic_params = dict(pack.ic)
+
+    def overridden(dest: str) -> bool:
+        return getattr(args, dest) != _FLAG_DEFAULTS[dest]
+
+    if overridden("nodes"):
+        config_params["num_nodes"] = (args.nodes, args.nodes)
+    if overridden("extent"):
+        half = args.extent / 2.0
+        config_params["low"] = (-half, -half)
+        config_params["high"] = (half, half)
+    if args.free_boundaries:
+        config_params["periodic"] = (False, False)
+    for dest, field in _CONFIG_FLAG_FIELDS.items():
+        if overridden(dest):
+            config_params[field] = getattr(args, dest)
+    config_params["backend"] = args.backend
+    for dest, field in (("ic", "kind"), ("magnitude", "magnitude"),
+                        ("period", "period"), ("seed", "seed")):
+        if overridden(dest):
+            ic_params[field] = getattr(args, dest)
+    config = build_config(config_params)
+    ic = InitialCondition(**ic_params)
+    steps = args.steps if overridden("steps") else pack.steps
+    ranks = args.ranks if overridden("ranks") else pack.ranks
+    return config, ic, steps, ranks
+
+
 def run_from_args(args: argparse.Namespace) -> dict:
-    half = args.extent / 2.0
-    periodic = not args.free_boundaries
-    config = SolverConfig(
-        num_nodes=(args.nodes, args.nodes),
-        low=(-half, -half),
-        high=(half, half),
-        periodic=(periodic, periodic),
-        order=args.order,
-        br_solver=args.br_solver,
-        cutoff=args.cutoff,
-        skin=args.skin,
-        rebuild_freq=args.rebuild_freq,
-        theta=args.theta,
-        leaf_size=args.leaf_size,
-        atwood=args.atwood,
-        gravity=args.gravity,
-        mu=args.mu,
-        eps=args.epsilon,
-        dt=args.dt,
-        br_images=args.br_images,
-        fft_config=FftConfig.from_index(args.fft_config),
-        backend=args.backend,
-    )
+    if getattr(args, "scenario", None):
+        try:
+            config, ic, steps, ranks = _scenario_run_params(args)
+        except ReproError as exc:
+            raise SystemExit(f"rocketrig: {exc}")
+    else:
+        half = args.extent / 2.0
+        periodic = not args.free_boundaries
+        config = SolverConfig(
+            num_nodes=(args.nodes, args.nodes),
+            low=(-half, -half),
+            high=(half, half),
+            periodic=(periodic, periodic),
+            order=args.order,
+            br_solver=args.br_solver,
+            cutoff=args.cutoff,
+            skin=args.skin,
+            rebuild_freq=args.rebuild_freq,
+            theta=args.theta,
+            leaf_size=args.leaf_size,
+            atwood=args.atwood,
+            gravity=args.gravity,
+            mu=args.mu,
+            eps=args.epsilon,
+            dt=args.dt,
+            br_images=args.br_images,
+            fft_config=FftConfig.from_index(args.fft_config),
+            backend=args.backend,
+        )
+        ic = InitialCondition(
+            kind=args.ic, magnitude=args.magnitude, period=args.period,
+            seed=args.seed,
+        )
+        steps, ranks = args.steps, args.ranks
     # Resolve eagerly so an unknown engine fails before ranks spin up.
     try:
-        backend_name = get_backend(args.backend).name
+        backend_name = get_backend(config.backend).name
     except ReproError as exc:
         raise SystemExit(f"rocketrig: {exc}")
-    ic = InitialCondition(
-        kind=args.ic, magnitude=args.magnitude, period=args.period,
-        seed=args.seed,
-    )
     profile_path = getattr(args, "profile", None)
     trace = mpi.CommTrace() if (args.trace or profile_path) else None
     writer = SiloWriter(args.outdir, "rocketrig") if args.outdir else None
@@ -361,7 +518,7 @@ def run_from_args(args: argparse.Namespace) -> dict:
     def program(comm):
         solver = Solver(comm, config, ic)
         solver.run(
-            args.steps,
+            steps,
             writer=writer,
             write_freq=args.write_freq if writer else 0,
         )
@@ -381,24 +538,28 @@ def run_from_args(args: argparse.Namespace) -> dict:
         )
 
     results = mpi.run_spmd(
-        args.ranks, program, trace=trace, timeout=3600.0,
+        ranks, program, trace=trace, timeout=3600.0,
         transport=args.comm,
     )
     diag, counts, cache_stats, tree_stats = results[0]
 
-    print(f"rocketrig: {args.order}-order, {args.ranks} ranks, "
-          f"{args.nodes}x{args.nodes} mesh, {args.steps} steps, "
+    scenario_tag = (
+        f"scenario {args.scenario!r}, "
+        if getattr(args, "scenario", None) else ""
+    )
+    print(f"rocketrig: {scenario_tag}{config.order}-order, {ranks} ranks, "
+          f"{config.num_nodes[0]}x{config.num_nodes[1]} mesh, {steps} steps, "
           f"{backend_name} backend")
     for key, value in diag.items():
         print(f"  {key:>16}: {value:.6g}")
     if counts is not None:
         stats = ownership_stats(np.asarray(counts))
         print(f"  spatial ownership: {stats.describe()}")
-    if cache_stats is not None and args.skin > 0:
+    if cache_stats is not None and config.skin > 0:
         print(f"  neighbor cache: {cache_stats['rebuilds']} rebuilds, "
-              f"{cache_stats['reuses']} reuses (skin {args.skin:g})")
+              f"{cache_stats['reuses']} reuses (skin {config.skin:g})")
     if tree_stats is not None:
-        print(f"  tree (theta {args.theta:g}): "
+        print(f"  tree (theta {config.theta:g}): "
               f"{tree_stats['far_pairs']} far + "
               f"{tree_stats['near_pairs']} near pairs/rank, "
               f"{tree_stats['nodes']} nodes, depth {tree_stats['depth']}")
@@ -419,7 +580,10 @@ def run_from_args(args: argparse.Namespace) -> dict:
 
         payload = write_chrome_trace(
             profile_path, trace,
-            process_name=f"rocketrig {args.order} {args.nodes}x{args.nodes}",
+            process_name=(
+                f"rocketrig {config.order} "
+                f"{config.num_nodes[0]}x{config.num_nodes[1]}"
+            ),
         )
         print(f"  profile: {len(payload['traceEvents'])} trace events "
               f"-> {profile_path} (open at https://ui.perfetto.dev)")
@@ -678,8 +842,48 @@ def run_batch_from_args(args: argparse.Namespace) -> dict:
     }
 
 
+def _print_scenarios() -> None:
+    """The ``--list-scenarios`` table: registry with provenance."""
+    from repro.scenarios import iter_scenarios
+
+    try:
+        scenarios = iter_scenarios()
+    except ReproError as exc:
+        raise SystemExit(f"rocketrig: scenario registry error: {exc}")
+    if not scenarios:
+        print("scenario packs: none found (set REPRO_SCENARIO_PATH or add "
+              "packs under scenarios/)")
+        return
+    rows = [
+        (s.name, s.family, ",".join(s.tags) or "-", s.citation())
+        for s in scenarios
+    ]
+    header = ("scenario", "family", "tags", "provenance")
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows))
+        for i in range(len(header))
+    ]
+    print(f"scenario packs ({len(rows)}):")
+    print("  " + "  ".join(
+        header[i].ljust(widths[i]) for i in range(len(header))).rstrip())
+    for row in rows:
+        print("  " + "  ".join(
+            row[i].ljust(widths[i]) for i in range(len(header))).rstrip())
+    print("run one with: rocketrig --scenario <name>")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.list_scenarios:
+        try:
+            _print_scenarios()
+        except BrokenPipeError:
+            # `rocketrig --list-scenarios | head` closes the pipe early;
+            # swallow stdout so the interpreter's exit flush stays quiet.
+            import os
+
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     if args.list_solvers or args.list_backends:
         if args.list_solvers:
             print("registered BR solvers:", ", ".join(available_br_solvers()))

@@ -28,7 +28,11 @@ from repro.core.diagnostics import (
     rt_dispersion_sigma,
     vorticity_magnitude,
 )
-from repro.core.initial_conditions import InitialCondition, apply_initial_condition
+from repro.core.initial_conditions import (
+    InitialCondition,
+    apply_initial_condition,
+    available_ic_kinds,
+)
 from repro.core.problem_manager import ProblemManager
 from repro.core.remesh import maybe_remesh, parameter_distortion, remesh_uniform
 from repro.core.silo_writer import SiloWriter
@@ -52,6 +56,7 @@ __all__ = [
     "vorticity_magnitude",
     "InitialCondition",
     "apply_initial_condition",
+    "available_ic_kinds",
     "ProblemManager",
     "maybe_remesh",
     "parameter_distortion",

@@ -28,7 +28,12 @@ import numpy as np
 from repro.core.problem_manager import ProblemManager
 from repro.util.errors import ConfigurationError
 
-__all__ = ["InitialCondition", "apply_initial_condition", "initial_state"]
+__all__ = [
+    "InitialCondition",
+    "apply_initial_condition",
+    "available_ic_kinds",
+    "initial_state",
+]
 
 
 @dataclass(frozen=True)
@@ -57,6 +62,26 @@ class InitialCondition:
     period: float = 1.0
     seed: int = 12345
     tilt: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Reject bad perturbations at construction: a typo'd kind or a
+        # degenerate amplitude used to survive until the eta dispatch
+        # fired mid-run (three RK3 stages deep, under SPMD threads).
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown initial-condition kind {self.kind!r}; "
+                f"options: {available_ic_kinds()}"
+            )
+        if not isinstance(self.magnitude, (int, float)) or self.magnitude <= 0:
+            raise ConfigurationError(
+                f"initial-condition magnitude must be positive, "
+                f"got {self.magnitude!r}"
+            )
+        if not isinstance(self.period, (int, float)) or self.period <= 0:
+            raise ConfigurationError(
+                f"initial-condition period must be positive, "
+                f"got {self.period!r}"
+            )
 
     def describe(self) -> str:
         return (
@@ -133,6 +158,17 @@ _KINDS: dict[str, Callable] = {
 }
 
 
+def available_ic_kinds() -> list[str]:
+    """Registered perturbation kinds, in registry order.
+
+    The single source of truth for every surface that enumerates
+    initial conditions: :class:`InitialCondition` construction-time
+    validation, the ``rocketrig --ic`` parser choices and help epilog,
+    and the scenario-pack schema all answer from this list.
+    """
+    return list(_KINDS)
+
+
 def initial_state(
     ic: InitialCondition,
     X: np.ndarray,
@@ -150,8 +186,11 @@ def initial_state(
     starts from bitwise the same state as its solo counterpart.
     """
     if ic.kind not in _KINDS:
+        # Unreachable through the validated constructor; kept so raw
+        # replace()/__new__-built instances still fail typed.
         raise ConfigurationError(
-            f"unknown initial condition {ic.kind!r}; options: {sorted(_KINDS)}"
+            f"unknown initial condition {ic.kind!r}; "
+            f"options: {available_ic_kinds()}"
         )
     eta = _KINDS[ic.kind](ic, X, Y, low, extent)
     if ic.tilt:

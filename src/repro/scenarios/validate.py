@@ -1,0 +1,73 @@
+"""Pack-validation CLI: schema-check every scenario pack and exit typed.
+
+CI's ``scenario-validate`` step runs this against the repo's
+``scenarios/`` directory::
+
+    python -m repro.scenarios.validate            # default pack roots
+    python -m repro.scenarios.validate DIR [DIR]  # explicit roots
+
+Every pack is loaded through the full schema validator
+(:func:`repro.scenarios.loader.load_pack`) *and* the registry's
+duplicate-name check; each failure is printed as ``FAIL <path>:
+<reason>`` and the process exits 1, so a malformed or uncited pack can
+never merge.  On success it prints one line per pack plus a summary.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from repro.scenarios.loader import load_pack
+from repro.scenarios.registry import _pack_files, pack_roots
+from repro.util.errors import ReproError
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    from pathlib import Path
+
+    roots = (
+        tuple(Path(arg) for arg in argv) if argv else pack_roots()
+    )
+    if not roots:
+        print("scenario-validate: no pack roots found (no scenarios/ "
+              "directory and $REPRO_SCENARIO_PATH unset)")
+        return 1
+    failures = 0
+    seen: dict[str, str] = {}
+    total = 0
+    for root in roots:
+        files = _pack_files(root)
+        if not files:
+            print(f"scenario-validate: no packs under {root}")
+            failures += 1
+            continue
+        for path in files:
+            total += 1
+            try:
+                scenario = load_pack(path)
+            except ReproError as exc:
+                print(f"FAIL {path}: {exc}")
+                failures += 1
+                continue
+            clash = seen.get(scenario.name)
+            if clash is not None:
+                print(f"FAIL {path}: duplicate scenario name "
+                      f"{scenario.name!r} (also defined by {clash})")
+                failures += 1
+                continue
+            seen[scenario.name] = str(path)
+            fleet = "fleet-eligible" if scenario.fleet_key() else "solo-only"
+            print(f"ok   {scenario.name:<24} {scenario.family:<12} "
+                  f"{fleet:<14} {path}")
+    status = "FAILED" if failures else "ok"
+    print(f"scenario-validate: {total - failures}/{total} packs valid "
+          f"across {len(roots)} root(s) — {status}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

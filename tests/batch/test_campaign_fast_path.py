@@ -133,20 +133,34 @@ class TestTelemetry:
             assert payload["ranks"] == 1
             assert payload["run_hash"] == outcome.run_hash
 
-    def test_failure_isolation_from_bad_group_member(self, tmp_path):
+    def test_failure_isolation_from_bad_group_member(self, tmp_path,
+                                                     monkeypatch):
         """A spec whose IC evaluation raises fails the fleet's remaining
         members honestly — nothing is recorded completed that did not
         finish, and a resubmit retries the failures."""
         bad = specs(ic={"kind": "multi_mode", "magnitude": 0.05,
                         "period": 3, "seed": 1},
                     grid={"atwood": [0.1, 0.3, 0.5, 0.7]})
-        # Sabotage one spec with an IC kind that fails at evaluation
-        # time: build it via dataclasses.replace so the run hash stays
-        # unique but the config is fleet-compatible.
+        # A typo'd IC kind can no longer reach the fleet — the
+        # InitialCondition constructor rejects it — so inject the
+        # evaluation-time failure at the fleet's initial_state hook
+        # instead: one member carries a sentinel seed (unique run hash,
+        # fleet-compatible config) that the sabotaged hook refuses.
         import dataclasses
+
+        from repro.batch import fleet as fleet_module
+
         broken = dataclasses.replace(
-            bad[0], ic=dataclasses.replace(bad[0].ic, kind="no_such_ic")
+            bad[0], ic=dataclasses.replace(bad[0].ic, seed=666)
         )
+        real_initial_state = fleet_module.initial_state
+
+        def sabotaged(ic, *args, **kwargs):
+            if ic.seed == 666:
+                raise RuntimeError("injected IC evaluation failure")
+            return real_initial_state(ic, *args, **kwargs)
+
+        monkeypatch.setattr(fleet_module, "initial_state", sabotaged)
         group = [broken] + bad[1:]
         store, executor, outcomes = run(tmp_path, "bad", group)
         statuses = {o.run_hash: o.status for o in outcomes}

@@ -119,3 +119,78 @@ class TestValidation:
             RunSpec(SolverConfig(), InitialCondition(), steps=0)
         with pytest.raises(ConfigurationError):
             RunSpec(SolverConfig(), InitialCondition(), mode="dream")
+
+
+class TestScenarioAxis:
+    """The scenario deck axis: packs resolve underneath deck overrides."""
+
+    def test_scenario_key_is_valid_axis_and_base(self):
+        CampaignDeck.from_dict({"grid": {"scenario": ["atwood-low"]}})
+        CampaignDeck.from_dict({"base": {"scenario": "atwood-low"}})
+
+    def test_axis_expansion_resolves_each_pack(self):
+        deck = CampaignDeck.from_dict({
+            "name": "sweep", "mode": "functional", "steps": 2,
+            "grid": {"scenario": ["atwood-low", "atwood-mid", "atwood-high"]},
+        })
+        specs = deck.expand()
+        assert [s.config.atwood for s in specs] == [0.1, 0.5, 0.9]
+        assert all(s.steps == 2 for s in specs)
+
+    def test_precedence_pack_below_base_below_point(self):
+        deck = CampaignDeck.from_dict({
+            "name": "prec", "mode": "functional", "steps": 1,
+            "base": {"scenario": "atwood-low", "gravity": 20.0},
+            "ic": {"magnitude": 0.01},
+            "grid": {"gravity": [30.0]},
+        })
+        spec = deck.expand()[0]
+        assert spec.config.atwood == 0.1        # from the pack
+        assert spec.config.gravity == 30.0      # axis beats base beats pack
+        assert spec.ic.magnitude == 0.01        # deck ic beats pack ic
+        assert spec.ic.seed == 12345            # pack ic survives otherwise
+
+    def test_axis_scenario_overrides_base_scenario(self):
+        deck = CampaignDeck.from_dict({
+            "name": "override", "mode": "functional", "steps": 1,
+            "base": {"scenario": "atwood-low"},
+            "grid": {"scenario": ["atwood-high"]},
+        })
+        assert deck.expand()[0].config.atwood == 0.9
+
+    def test_resolved_specs_hash_like_explicit_specs(self):
+        from repro.campaign.deck import build_config
+        from repro.scenarios import get_scenario
+
+        deck = CampaignDeck.from_dict({
+            "name": "hash", "mode": "functional", "steps": 2,
+            "grid": {"scenario": ["cfl-tight"]},
+        })
+        spec = deck.expand()[0]
+        pack = get_scenario("cfl-tight")
+        explicit = RunSpec(
+            config=build_config(pack.config),
+            ic=InitialCondition(**pack.ic),
+            ranks=1, steps=2, mode="functional",
+        )
+        assert spec.run_hash() == explicit.run_hash()
+
+    def test_scenario_composes_with_other_axes(self):
+        deck = CampaignDeck.from_dict({
+            "name": "combo", "mode": "functional", "steps": 1,
+            "grid": {"scenario": ["atwood-low", "atwood-high"],
+                     "backend": ["numpy", "blocked"]},
+        })
+        specs = deck.expand()
+        assert len(specs) == deck.size() == 4
+        assert {(s.config.atwood, s.config.backend) for s in specs} == {
+            (0.1, "numpy"), (0.1, "blocked"),
+            (0.9, "numpy"), (0.9, "blocked"),
+        }
+
+    def test_unknown_scenario_name_fails_expansion(self):
+        deck = CampaignDeck.from_dict({
+            "name": "bad", "grid": {"scenario": ["no-such-pack"]},
+        })
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            deck.expand()

@@ -256,3 +256,39 @@ class TestCampaignSubcommand:
         deck_good.write_text(json.dumps(good))
         assert main(["campaign", str(deck_good), "--results-dir", results]) == 0
         capsys.readouterr()
+
+
+class TestScenarioFlags:
+    def test_scenario_flag_parses(self):
+        args = build_parser().parse_args(["--scenario", "singlemode-rollup"])
+        assert args.scenario == "singlemode-rollup"
+        assert build_parser().parse_args([]).scenario is None
+
+    def test_list_scenarios(self, capsys):
+        from repro.scenarios import available_scenarios
+
+        assert main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in available_scenarios():
+            assert name in out
+        assert "conf_sc_StewartB24" in out
+
+    def test_epilog_advertises_scenarios(self):
+        epilog = build_parser().epilog
+        assert "--scenario" in epilog
+        assert "scenario_sweep.json" in epilog
+
+    def test_scenario_run(self, capsys):
+        args = build_parser().parse_args(
+            ["--scenario", "atwood-low", "--steps", "2"]
+        )
+        diag = run_from_args(args)
+        assert diag["steps"] == 2
+        out = capsys.readouterr().out
+        assert "scenario 'atwood-low'" in out
+        assert "32x32 mesh, 2 steps" in out
+
+    def test_unknown_scenario_exits_with_suggestions(self):
+        args = build_parser().parse_args(["--scenario", "atwood-lo"])
+        with pytest.raises(SystemExit, match="did you mean"):
+            run_from_args(args)
